@@ -1,0 +1,17 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's figures (F1-F8) or one
+quantitative experiment (T1-T6), prints the resulting table (the
+figure-equivalent output), and asserts the expected qualitative shape.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def report(result) -> None:
+    """Print an ExperimentResult table into the benchmark output."""
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Ablation A1 — quality-gated propagation vs ungated early release."""
+
+from conftest import report
+
+from repro.bench.ablations import run_a1
+
+
+def test_a1_quality_gating(benchmark):
+    result = benchmark.pedantic(run_a1, rounds=1, iterations=1)
+    report(result)
+    by_team = {}
+    for row in result.rows:
+        by_team.setdefault(row["team"], []).append(row)
+    for rows in by_team.values():
+        ordered = sorted(rows, key=lambda r: r["rework_probability"])
+        reworks = [r["rework"] for r in ordered]
+        assert reworks == sorted(reworks), \
+            "rework grows as the quality gate weakens"
+        assert ordered[0]["makespan"] < ordered[-1]["makespan"]

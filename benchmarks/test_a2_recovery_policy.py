@@ -1,0 +1,19 @@
+"""Ablation A2 — recovery-point interval trade-off."""
+
+from conftest import report
+
+from repro.bench.ablations import run_a2
+
+
+def test_a2_recovery_point_interval(benchmark):
+    result = benchmark(run_a2)
+    report(result)
+    numeric = [r for r in result.rows if r["interval"] != "off"]
+    losses = [r["mean_lost"] for r in numeric]
+    writes = [r["recovery_point_writes"] for r in numeric]
+    assert losses == sorted(losses), "tighter interval, less loss"
+    assert writes == sorted(writes, reverse=True), \
+        "tighter interval, more recovery-point writes"
+    off = next(r for r in result.rows if r["interval"] == "off")
+    assert off["recovery_point_writes"] == min(
+        r["recovery_point_writes"] for r in result.rows)

@@ -1,0 +1,12 @@
+"""Ablation A3 — local (main-memory) commit optimisation."""
+
+from conftest import report
+
+from repro.bench.ablations import run_a3
+
+
+def test_a3_local_commit_fast_path(benchmark):
+    result = benchmark(run_a3)
+    report(result)
+    assert result.data["speedup"] > 5.0, \
+        "the main-memory fast path must dominate same-machine commits"

@@ -1,0 +1,13 @@
+"""Benchmark F1 — Fig.1: abstraction levels of the CONCORD model."""
+
+from conftest import report
+
+from repro.bench.figures import run_f1
+
+
+def test_f1_abstraction_levels(benchmark):
+    result = benchmark.pedantic(run_f1, rounds=1, iterations=1)
+    report(result)
+    counts = result.data["counts"]
+    assert counts["AC"] > 0 and counts["DC"] > 0 and counts["TE"] > 0
+    assert counts["TE"] > counts["DC"]

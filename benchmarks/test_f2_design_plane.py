@@ -1,0 +1,14 @@
+"""Benchmark F2 — Fig.2: the design plane traversal."""
+
+from conftest import report
+
+from repro.bench.figures import run_f2
+
+
+def test_f2_design_plane(benchmark):
+    result = benchmark(run_f2)
+    report(result)
+    tools = result.data["tool_order"]
+    assert tools[0] == "structure_synthesis"
+    assert tools[-1] == "chip_assembly"
+    assert len(result.rows) == 4

@@ -1,0 +1,13 @@
+"""Benchmark F3 — Fig.3: the chip-planning work flow."""
+
+from conftest import report
+
+from repro.bench.figures import run_f3
+
+
+def test_f3_chip_planning(benchmark):
+    result = benchmark.pedantic(run_f3, rounds=1, iterations=1)
+    report(result)
+    floorplan = result.data["floorplan"]
+    assert floorplan.validate() == []
+    assert floorplan.subcell_interfaces()

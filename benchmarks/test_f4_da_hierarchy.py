@@ -1,0 +1,13 @@
+"""Benchmark F4 — Fig.4: design activities and DA hierarchies."""
+
+from conftest import report
+
+from repro.bench.figures import run_f4
+
+
+def test_f4_da_hierarchy(benchmark):
+    result = benchmark.pedantic(run_f4, rounds=1, iterations=1)
+    report(result)
+    hierarchy = result.data["hierarchy"]
+    assert len(hierarchy["roots"]) == 1
+    assert len(hierarchy["roots"][0]["children"]) == 4

@@ -1,0 +1,14 @@
+"""Benchmark F5 — Fig.5: the delegation scenario within chip planning."""
+
+from conftest import report
+
+from repro.bench.figures import run_f5
+
+
+def test_f5_delegation_scenario(benchmark):
+    result = benchmark.pedantic(run_f5, rounds=1, iterations=1)
+    report(result)
+    scenario = result.data["report"]
+    assert scenario.impossible_from
+    assert len(scenario.modified_specs) == 2
+    assert sum(len(v) for v in scenario.inherited_dovs.values()) >= 4

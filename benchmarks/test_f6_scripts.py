@@ -1,0 +1,13 @@
+"""Benchmark F6 — Fig.6: sample scripts (open segments, alternatives)."""
+
+from conftest import report
+
+from repro.bench.figures import run_f6
+
+
+def test_f6_sample_scripts(benchmark):
+    result = benchmark(run_f6)
+    report(result)
+    assert result.data["fig6a_executed"][0] == "structure_synthesis"
+    assert result.data["fig6a_executed"][-1] == "chip_assembly"
+    assert len(result.data["fig6b_sequences"]) == 3

@@ -1,0 +1,12 @@
+"""Benchmark F7 — Fig.7: the DA state/transition graph."""
+
+from conftest import report
+
+from repro.bench.figures import run_f7
+
+
+def test_f7_state_transition_graph(benchmark):
+    result = benchmark(run_f7)
+    report(result)
+    assert result.data["legal"] + result.data["illegal"] == 5 * 15
+    assert result.data["legal"] == len(result.data["table"])

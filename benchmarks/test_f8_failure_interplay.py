@@ -1,0 +1,14 @@
+"""Benchmark F8 — Fig.8: joint failure handling of the managers."""
+
+from conftest import report
+
+from repro.bench.figures import run_f8
+
+
+def test_f8_failure_interplay(benchmark):
+    result = benchmark.pedantic(run_f8, rounds=1, iterations=1)
+    report(result)
+    before, after = result.data["dov_recovery"]
+    assert after == before
+    das_before, das_after = result.data["da_recovery"]
+    assert das_after == das_before

@@ -1,0 +1,35 @@
+"""Benchmark T1 — cooperation vs isolation: team makespan."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t1
+
+
+def test_t1_team_makespan(benchmark):
+    result = benchmark.pedantic(run_t1, rounds=1, iterations=1)
+    report(result)
+    by_team = {}
+    for row in result.rows:
+        if row["topology"] != "chain":
+            continue
+        by_team.setdefault(row["team"], {})[row["model"]] = row
+    for models in by_team.values():
+        # CONCORD strictly wins; ConTracts never beats CONCORD and never
+        # loses to flat ACID (it ties flat for 2-person teams, where the
+        # single dependency serialises both models completely)
+        assert models["concord"]["makespan"] \
+            < models["contracts"]["makespan"]
+        assert models["contracts"]["makespan"] \
+            <= models["flat_acid"]["makespan"]
+    teams = sorted(by_team)
+    gaps = [by_team[t]["flat_acid"]["makespan"]
+            - by_team[t]["concord"]["makespan"] for t in teams]
+    assert gaps == sorted(gaps), "gap must grow with team size"
+    # fan-in topology: concord still wins for every team size
+    for row in result.rows:
+        if row["topology"] == "fan-in" and row["model"] == "flat_acid":
+            concord = next(
+                r for r in result.rows
+                if r["topology"] == "fan-in" and r["team"] == row["team"]
+                and r["model"] == "concord")
+            assert concord["makespan"] <= row["makespan"]

@@ -1,0 +1,19 @@
+"""Benchmark T2 — lost work after a workstation crash."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t2
+
+
+def test_t2_lost_work(benchmark):
+    result = benchmark(run_t2)
+    report(result)
+    rows = {(r["model"], r["crash_time"]): r["lost_work"]
+            for r in result.rows}
+    crash_times = sorted({t for (_, t) in rows})
+    flat = [rows[("flat_acid", t)] for t in crash_times]
+    assert flat == crash_times, "flat ACID loses everything since start"
+    for t in crash_times:
+        assert rows[("concord(rp=10)", t)] < 10.0
+        assert rows[("concord(rp=30)", t)] < 30.0
+        assert rows[("nested", t)] <= 70.0  # bounded by the longest step

@@ -1,0 +1,17 @@
+"""Benchmark T3 — two-phase-commit optimisations."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t3
+
+
+def test_t3_2pc_variants(benchmark):
+    result = benchmark(run_t3)
+    report(result)
+    rows = {(r["protocol"], r["case"]): r for r in result.rows}
+    assert rows[("presumed_abort", "one-no abort")]["messages"] \
+        < rows[("basic", "one-no abort")]["messages"]
+    assert rows[("presumed_abort", "one-no abort")]["forced_writes"] \
+        < rows[("basic", "one-no abort")]["forced_writes"]
+    assert rows[("presumed_abort+ro", "read-only mix")]["messages"] \
+        < rows[("presumed_abort", "read-only mix")]["messages"]

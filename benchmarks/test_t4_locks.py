@@ -1,0 +1,18 @@
+"""Benchmark T4 — lock manager throughput and scope-lock costs."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t4
+
+
+def test_t4_lock_manager(benchmark):
+    result = benchmark.pedantic(run_t4, rounds=1, iterations=1)
+    report(result)
+    sharing_rows = [r for r in result.rows
+                    if "derivation conflicts" in r["measure"]]
+    values = [r["value"] for r in sharing_rows]
+    assert values == sorted(values), \
+        "conflicts grow with the sharing level"
+    throughput = next(r for r in result.rows
+                      if "short-lock" in r["measure"])
+    assert throughput["value"] > 1000

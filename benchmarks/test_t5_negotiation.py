@@ -1,0 +1,18 @@
+"""Benchmark T5 — negotiation convergence vs conflict severity."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t5
+
+
+def test_t5_negotiation(benchmark):
+    result = benchmark.pedantic(run_t5, rounds=1, iterations=1)
+    report(result)
+    rows = sorted(result.rows, key=lambda r: r["severity"])
+    feasible = [r for r in rows if r["severity"] <= 1.0]
+    rounds = [r["rounds"] for r in feasible]
+    assert rounds == sorted(rounds), \
+        "rounds grow as the feasible region shrinks"
+    assert all(r["outcome"] == "agreed" for r in feasible)
+    infeasible = [r for r in rows if r["severity"] > 1.0]
+    assert all(r["outcome"] == "escalated" for r in infeasible)

@@ -1,0 +1,16 @@
+"""Benchmark T6 — cooperation manager scalability."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t6
+
+
+def test_t6_cm_scaling(benchmark):
+    result = benchmark.pedantic(run_t6, rounds=1, iterations=1)
+    report(result)
+    sizes = [r["hierarchy_size"] for r in result.rows]
+    logs = [r["protocol_log_records"] for r in result.rows]
+    assert logs == sorted(logs)
+    # protocol log grows linearly: records per DA stay constant
+    per_da = [log / size for log, size in zip(logs, sizes)]
+    assert max(per_da) - min(per_da) < 1.0

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: a single designer runs a scripted design activity.
+
+Demonstrates the minimal CONCORD setup:
+
+1. build a :class:`ConcordSystem` (server + one workstation),
+2. define a design object type (DOT), a design specification (the
+   feature set the final result must fulfil), a tool and a script,
+3. create and start the top-level design activity (DA),
+4. let the design manager drive the work flow: every DOP is a long
+   ACID transaction (checkout -> tool processing -> checkin),
+5. evaluate the quality state and inspect the derivation graph.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AttributeDef,
+    AttributeKind,
+    ConcordSystem,
+    DaOpStep,
+    DesignObjectType,
+    DesignSpecification,
+    DopStep,
+    RangeFeature,
+    Script,
+    Sequence,
+)
+
+
+def main() -> None:
+    # 1. the installation: one server, one designer workstation
+    system = ConcordSystem()
+    system.add_workstation("ws-alice")
+
+    # 2a. the design object type: a cell with an area attribute
+    cell = DesignObjectType("Cell", attributes=[
+        AttributeDef("name", AttributeKind.STRING),
+        AttributeDef("area", AttributeKind.FLOAT, required=False),
+    ])
+
+    # 2b. the design specification: the goal the final DOV must reach
+    spec = DesignSpecification([
+        RangeFeature("area-limit", "area", hi=100.0),
+    ])
+
+    # 2c. a design tool: halves the cell area on every application
+    def optimiser(context, params):
+        context.data["area"] = context.data.get("area", 400.0) * 0.5
+
+    system.tools.register("optimiser", optimiser, duration=45.0)
+
+    # 2d. the script (the DC parameter of the description vector):
+    #     run the optimiser twice, then evaluate the quality state
+    script = Script(Sequence(
+        DopStep("optimiser"),
+        DopStep("optimiser"),
+        DaOpStep("Evaluate"),
+    ), name="optimise-twice")
+
+    # 3. Init_Design creates the top-level DA with DOV0 as basis
+    da = system.init_design(cell, spec, designer="alice", script=script,
+                            workstation="ws-alice",
+                            initial_data={"name": "cell-x", "area": 360.0})
+    system.start(da.da_id)
+
+    # 4. the design manager drives the work flow automatically
+    status = system.run(da.da_id)
+    print(f"work flow done: {status.done}, "
+          f"DOPs executed: {status.executed_dops}")
+
+    # 5. inspect the outcome
+    graph = system.repository.graph(da.da_id)
+    print(f"derivation graph: {len(graph)} versions "
+          f"(DOV0 + one per DOP)")
+    for dov in graph:
+        quality = da.quality.get(dov.dov_id)
+        state = ("final" if quality and quality.is_final
+                 else "preliminary")
+        print(f"  {dov.dov_id}: area={dov.get('area'):7.1f}  "
+              f"parents={list(dov.parents) or '-'}  [{state}]")
+    print(f"final DOVs: {da.final_dovs}")
+    print(f"simulated design time: {system.clock.now:.0f} minutes")
+    print()
+    print("trace of the run (first 12 events):")
+    print(system.trace.render(12))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Command-line entry point: ``python -m repro [F1 T1 A2 ...]``.
+
+With no arguments, regenerates and prints every figure (F1-F8),
+experiment (T1-T6) and ablation (A1-A3); with arguments, only the named
+ones.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ALL_ABLATIONS, ALL_EXPERIMENTS, ALL_FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    wanted = {a.upper() for a in args}
+    if wanted & {"--SCORECARD", "SCORECARD"}:
+        from repro.bench.scorecard import run_scorecard
+
+        card = run_scorecard()
+        print(card.render())
+        return 1 if card.data["failures"] else 0
+    drivers = {**ALL_FIGURES, **ALL_EXPERIMENTS, **ALL_ABLATIONS}
+    unknown = wanted - set(drivers)
+    if unknown:
+        print(f"unknown experiments: {sorted(unknown)}; "
+              f"available: {sorted(drivers)} or 'scorecard'")
+        return 2
+    for name, driver in drivers.items():
+        if wanted and name not in wanted:
+            continue
+        print(driver().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

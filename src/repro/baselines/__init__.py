@@ -1,0 +1,27 @@
+"""Baseline transaction models the paper compares against (Sect.1.2)."""
+
+from repro.baselines.models import (
+    CrashRecovery,
+    ProcessingModel,
+    VisibilityPolicy,
+    WriteConcurrency,
+    all_models,
+    concord_model,
+    contracts_model,
+    flat_acid_model,
+    nested_model,
+    saga_model,
+)
+
+__all__ = [
+    "CrashRecovery",
+    "ProcessingModel",
+    "VisibilityPolicy",
+    "WriteConcurrency",
+    "all_models",
+    "concord_model",
+    "contracts_model",
+    "flat_acid_model",
+    "nested_model",
+    "saga_model",
+]

@@ -1,0 +1,249 @@
+"""The reproduction scorecard: one command, every claim checked.
+
+Runs every figure driver (F1-F8), experiment (T1-T6) and ablation
+(A1-A3) and evaluates the *shape* each must exhibit (the reproduction
+criterion: who wins, by roughly what factor, where crossovers fall —
+not absolute numbers).  ``python -m repro.bench.scorecard`` prints the
+card; the test suite asserts every row passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.ablations import run_a1, run_a2, run_a3
+from repro.bench.experiments import (
+    run_t1,
+    run_t2,
+    run_t3,
+    run_t4,
+    run_t5,
+    run_t6,
+)
+from repro.bench.figures import (
+    run_f1,
+    run_f2,
+    run_f3,
+    run_f4,
+    run_f5,
+    run_f6,
+    run_f7,
+    run_f8,
+)
+from repro.bench.reporting import ExperimentResult
+
+
+def _check_f1(result: ExperimentResult) -> str | None:
+    counts = result.data["counts"]
+    if not (counts.get("AC") and counts.get("DC") and counts.get("TE")):
+        return "a level recorded no operations"
+    if not counts["TE"] > counts["DC"]:
+        return "TE must outnumber DC (Fig.1 nesting)"
+    return None
+
+
+def _check_f2(result: ExperimentResult) -> str | None:
+    tools = result.data["tool_order"]
+    if tools[0] != "structure_synthesis":
+        return "traversal must start with tool 1"
+    if tools[-1] != "chip_assembly":
+        return "traversal must end with tool 7"
+    return None
+
+
+def _check_f3(result: ExperimentResult) -> str | None:
+    floorplan = result.data["floorplan"]
+    if floorplan.validate():
+        return "floorplan geometrically invalid"
+    if not floorplan.subcell_interfaces():
+        return "no subcell interfaces produced"
+    return None
+
+
+def _check_f4(result: ExperimentResult) -> str | None:
+    hierarchy = result.data["hierarchy"]
+    if len(hierarchy["roots"]) != 1:
+        return "expected exactly one top-level DA"
+    if len(hierarchy["roots"][0]["children"]) != 4:
+        return "expected four sub-DAs (A-D)"
+    return None
+
+
+def _check_f5(result: ExperimentResult) -> str | None:
+    report = result.data["report"]
+    if not report.impossible_from:
+        return "no impossible-specification episode"
+    if len(report.modified_specs) != 2:
+        return "expected two spec modifications (A and B)"
+    if not report.inherited_dovs:
+        return "no final DOVs devolved"
+    return None
+
+
+def _check_f6(result: ExperimentResult) -> str | None:
+    if len(result.data["fig6b_sequences"]) != 3:
+        return "Fig.6b must enumerate three paths"
+    executed = result.data["fig6a_executed"]
+    if executed[0] != "structure_synthesis" \
+            or executed[-1] != "chip_assembly":
+        return "Fig.6a fixed endpoints violated"
+    return None
+
+
+def _check_f7(result: ExperimentResult) -> str | None:
+    if result.data["legal"] + result.data["illegal"] != 75:
+        return "state x operation coverage incomplete"
+    return None
+
+
+def _check_f8(result: ExperimentResult) -> str | None:
+    before, after = result.data["dov_recovery"]
+    if before != after:
+        return "durable DOVs lost across server crash"
+    das_before, das_after = result.data["da_recovery"]
+    if das_before != das_after:
+        return "CM hierarchy lost across server crash"
+    return None
+
+
+def _check_t1(result: ExperimentResult) -> str | None:
+    chain = [r for r in result.rows if r["topology"] == "chain"]
+    by_team: dict = {}
+    for row in chain:
+        by_team.setdefault(row["team"], {})[row["model"]] = row
+    gaps = []
+    for team in sorted(by_team):
+        models = by_team[team]
+        if not (models["concord"]["makespan"]
+                < models["contracts"]["makespan"]
+                <= models["flat_acid"]["makespan"]):
+            return f"ordering violated for team={team}"
+        gaps.append(models["flat_acid"]["makespan"]
+                    - models["concord"]["makespan"])
+    if gaps != sorted(gaps):
+        return "gap does not grow with team size"
+    return None
+
+
+def _check_t2(result: ExperimentResult) -> str | None:
+    flat = sorted(((r["crash_time"], r["lost_work"])
+                   for r in result.rows if r["model"] == "flat_acid"))
+    for crash_time, lost in flat:
+        if abs(lost - crash_time) > 1e-6:
+            return "flat ACID must lose everything since start"
+    for row in result.rows:
+        if row["model"].startswith("concord(rp=10"):
+            if row["lost_work"] >= 10.0:
+                return "concord lost more than its rp interval"
+    return None
+
+
+def _check_t3(result: ExperimentResult) -> str | None:
+    rows = {(r["protocol"], r["case"]): r for r in result.rows}
+    if not rows[("presumed_abort", "one-no abort")]["messages"] \
+            < rows[("basic", "one-no abort")]["messages"]:
+        return "presumed abort did not save abort messages"
+    if not rows[("presumed_abort+ro", "read-only mix")]["messages"] \
+            < rows[("presumed_abort", "read-only mix")]["messages"]:
+        return "read-only optimisation saved nothing"
+    return None
+
+
+def _check_t4(result: ExperimentResult) -> str | None:
+    sharing = [r["value"] for r in result.rows
+               if "derivation conflicts" in r["measure"]]
+    if sharing != sorted(sharing):
+        return "derivation conflicts must grow with sharing"
+    return None
+
+
+def _check_t5(result: ExperimentResult) -> str | None:
+    feasible = [r for r in result.rows if r["severity"] <= 1.0]
+    rounds = [r["rounds"] for r in
+              sorted(feasible, key=lambda r: r["severity"])]
+    if rounds != sorted(rounds):
+        return "rounds must grow with severity"
+    if any(r["outcome"] != "agreed" for r in feasible):
+        return "feasible negotiations must agree"
+    infeasible = [r for r in result.rows if r["severity"] > 1.0]
+    if any(r["outcome"] != "escalated" for r in infeasible):
+        return "infeasible negotiations must escalate"
+    return None
+
+
+def _check_t6(result: ExperimentResult) -> str | None:
+    logs = [r["protocol_log_records"] for r in result.rows]
+    if logs != sorted(logs):
+        return "protocol log must grow with hierarchy size"
+    return None
+
+
+def _check_a1(result: ExperimentResult) -> str | None:
+    by_team: dict = {}
+    for row in result.rows:
+        by_team.setdefault(row["team"], []).append(row)
+    for rows in by_team.values():
+        ordered = sorted(rows, key=lambda r: r["rework_probability"])
+        reworks = [r["rework"] for r in ordered]
+        if reworks != sorted(reworks):
+            return "rework must grow as the gate weakens"
+    return None
+
+
+def _check_a2(result: ExperimentResult) -> str | None:
+    numeric = [r for r in result.rows if r["interval"] != "off"]
+    losses = [r["mean_lost"] for r in numeric]
+    if losses != sorted(losses):
+        return "lost work must grow with the interval"
+    return None
+
+
+def _check_a3(result: ExperimentResult) -> str | None:
+    if result.data["speedup"] <= 5.0:
+        return "local fast path speedup implausibly small"
+    return None
+
+
+#: id -> (driver, shape check)
+SCORECARD: dict[str, tuple[Callable[[], ExperimentResult],
+                           Callable[[ExperimentResult], str | None]]] = {
+    "F1": (run_f1, _check_f1), "F2": (run_f2, _check_f2),
+    "F3": (run_f3, _check_f3), "F4": (run_f4, _check_f4),
+    "F5": (run_f5, _check_f5), "F6": (run_f6, _check_f6),
+    "F7": (run_f7, _check_f7), "F8": (run_f8, _check_f8),
+    "T1": (run_t1, _check_t1), "T2": (run_t2, _check_t2),
+    "T3": (run_t3, _check_t3), "T4": (run_t4, _check_t4),
+    "T5": (run_t5, _check_t5), "T6": (run_t6, _check_t6),
+    "A1": (run_a1, _check_a1), "A2": (run_a2, _check_a2),
+    "A3": (run_a3, _check_a3),
+}
+
+
+def run_scorecard(only: set[str] | None = None) -> ExperimentResult:
+    """Run every driver and check its shape; returns the scorecard."""
+    card = ExperimentResult(
+        "SCORECARD", "Reproduction scorecard: every figure/experiment "
+                     "and its expected shape")
+    failures = 0
+    for exp_id, (driver, check) in SCORECARD.items():
+        if only and exp_id not in only:
+            continue
+        try:
+            result = driver()
+            problem = check(result)
+        except Exception as exc:  # noqa: BLE001 - reported, not hidden
+            problem = f"driver raised {exc!r}"
+        if problem:
+            failures += 1
+        card.add(experiment=exp_id,
+                 shape="OK" if problem is None else "FAIL",
+                 detail=problem or "expected shape holds")
+    card.data["failures"] = failures
+    card.notes.append(
+        f"{len(card.rows) - failures}/{len(card.rows)} expected shapes "
+        f"hold")
+    return card
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry
+    print(run_scorecard().render())

@@ -1,0 +1,115 @@
+"""Design activities (DAs) and their description vectors (Sect.4.1).
+
+"A design activity (DA) is the operational unit realizing a design
+task.  It can be best characterized by the following description vector
+consisting of four parameters: <DOT(DOV0), SPEC, designer, DC>."
+
+The DA object is deliberately passive: every cooperation operation goes
+through the cooperation manager, which enforces the Fig.7 state machine
+and the relationship semantics.  The DA carries its description vector,
+its state machine, its quality bookkeeping (evaluated/final DOVs) and
+its per-DA views used by the DM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.features import DesignSpecification, QualityState
+from repro.core.states import DaState, DaStateMachine
+from repro.dc.script import Script
+from repro.repository.schema import DesignObjectType
+
+
+@dataclass
+class DescriptionVector:
+    """The four-parameter characterisation of a DA.
+
+    ``dot`` + optional ``initial_dov`` form the DOT(DOV0) parameter;
+    ``spec`` is the design specification (goal); ``designer`` the
+    responsible person; ``script`` the DC parameter (the design
+    strategy to apply).
+    """
+
+    dot: DesignObjectType
+    spec: DesignSpecification
+    designer: str
+    script: Script
+    initial_dov: str | None = None
+
+
+@dataclass
+class DesignActivity:
+    """One design (sub-)task in the DA hierarchy."""
+
+    da_id: str
+    vector: DescriptionVector
+    workstation: str
+    parent: str | None = None
+    created_at: float = 0.0
+    machine: DaStateMachine = None  # type: ignore[assignment]
+    children: list[str] = field(default_factory=list)
+    #: quality states by DOV id (filled by Evaluate)
+    quality: dict[str, QualityState] = field(default_factory=dict)
+    #: DOVs that fulfilled the complete specification
+    final_dovs: list[str] = field(default_factory=list)
+    #: DOVs this DA pre-released via Propagate
+    propagated: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.machine is None:
+            self.machine = DaStateMachine(self.da_id)
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def state(self) -> DaState:
+        """Current lifecycle state."""
+        return self.machine.state
+
+    @property
+    def spec(self) -> DesignSpecification:
+        """Current design specification (may be modified/refined)."""
+        return self.vector.spec
+
+    @spec.setter
+    def spec(self, new_spec: DesignSpecification) -> None:
+        self.vector.spec = new_spec
+
+    @property
+    def dot(self) -> DesignObjectType:
+        """The DA's design object type."""
+        return self.vector.dot
+
+    @property
+    def designer(self) -> str:
+        """The responsible designer."""
+        return self.vector.designer
+
+    @property
+    def script(self) -> Script:
+        """The DC parameter: the DA's work-flow template."""
+        return self.vector.script
+
+    @property
+    def is_top_level(self) -> bool:
+        """True for the DA created by Init_Design."""
+        return self.parent is None
+
+    def record_quality(self, dov_id: str, quality: QualityState) -> None:
+        """Store an Evaluate result; final DOVs are remembered."""
+        self.quality[dov_id] = quality
+        if quality.is_final and dov_id not in self.final_dovs:
+            self.final_dovs.append(dov_id)
+
+    def has_final_dov(self) -> bool:
+        """True when the DA has reached its goal at least once."""
+        return bool(self.final_dovs)
+
+    def revoke_finality(self, dov_id: str) -> None:
+        """Drop finality after a spec change invalidated old evaluations."""
+        self.final_dovs = [d for d in self.final_dovs if d != dov_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DesignActivity({self.da_id!r}, state={self.state.value},"
+                f" dot={self.dot.name!r}, designer={self.designer!r})")

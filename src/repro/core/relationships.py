@@ -1,0 +1,139 @@
+"""Cooperation relationships: delegation, usage, negotiation (Sect.4.1).
+
+"All relationships between DAs are explicitly modeled, thus capturing
+design flow (cooperation relationship *delegation*), exchange of design
+data (cooperation relationship *usage*), and negotiation of design
+goals (cooperation relationship *negotiation*)."
+
+The classes here are the CM's bookkeeping records; the protocol logic
+(who may do what, when) lives in the cooperation manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.core.features import Feature
+from repro.util.errors import NegotiationError
+
+
+@dataclass(frozen=True)
+class Delegation:
+    """Super-DA delegated a subtask to a sub-DA (Create_Sub_DA)."""
+
+    super_da: str
+    sub_da: str
+    created_at: float = 0.0
+
+
+@dataclass
+class Usage:
+    """Controlled exchange of preliminary results between two DAs.
+
+    "A requiring DA (operation Require) may ask another DA (called the
+    supporting DA) for a DOV with a certain set of features satisfied.
+    This feature set defines the quality needed."
+    """
+
+    requiring_da: str
+    supporting_da: str
+    #: feature names the delivered DOV must fulfil
+    required_features: frozenset[str]
+    created_at: float = 0.0
+    #: DOVs delivered along this relationship, in order
+    delivered: list[str] = field(default_factory=list)
+    #: DOVs later withdrawn
+    withdrawn: list[str] = field(default_factory=list)
+
+    def key(self) -> tuple[str, str]:
+        """Identity of the relationship (one per DA pair/direction)."""
+        return (self.requiring_da, self.supporting_da)
+
+
+class ProposalStatus(str, Enum):
+    """Lifecycle of one negotiation proposal."""
+
+    OPEN = "open"
+    AGREED = "agreed"
+    REJECTED = "rejected"
+    ESCALATED = "escalated"
+
+
+@dataclass
+class Proposal:
+    """One Propose in a negotiation: suggested spec refinements.
+
+    ``changes`` maps the target DA to the feature replacing (or
+    tightening) its namesake in that DA's specification — e.g. moving
+    the shared A/B borderline assigns complementary area bounds to the
+    two negotiating DAs.
+    """
+
+    proposal_id: str
+    proposer: str
+    changes: dict[str, list[Feature]]
+    note: str = ""
+    status: ProposalStatus = ProposalStatus.OPEN
+    responded_by: str = ""
+
+
+@dataclass
+class Negotiation:
+    """A negotiation relationship between two sibling sub-DAs.
+
+    "We allow negotiation relationships between only the sub-DAs of the
+    same super-DA, because these sub-DAs contribute to a common design
+    goal set by their common super-DA."
+    """
+
+    negotiation_id: str
+    da_a: str
+    da_b: str
+    subject: str = ""
+    created_by: str = ""          # a sub-DA (dynamic) or the super-DA
+    proposals: list[Proposal] = field(default_factory=list)
+    escalations: int = 0
+    closed: bool = False
+
+    def involves(self, da_id: str) -> bool:
+        """True when *da_id* is one of the negotiating parties."""
+        return da_id in (self.da_a, self.da_b)
+
+    def other(self, da_id: str) -> str:
+        """The counterpart of *da_id* in this negotiation."""
+        if da_id == self.da_a:
+            return self.da_b
+        if da_id == self.da_b:
+            return self.da_a
+        raise NegotiationError(
+            f"DA {da_id!r} is not part of negotiation "
+            f"{self.negotiation_id!r}")
+
+    def open_proposal(self) -> Proposal | None:
+        """The currently open proposal, if any (one at a time)."""
+        for proposal in reversed(self.proposals):
+            if proposal.status is ProposalStatus.OPEN:
+                return proposal
+        return None
+
+    def rounds(self) -> int:
+        """Number of proposals exchanged so far."""
+        return len(self.proposals)
+
+
+@dataclass
+class Message:
+    """An asynchronous notification delivered to a DA's inbox.
+
+    Used for the events that "generally ask the receiving DA to react
+    or reply": impossible specifications, conflicts, withdrawals,
+    require requests, ready-to-commit notices.
+    """
+
+    kind: str
+    sender: str
+    recipient: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    at: float = 0.0

@@ -1,0 +1,333 @@
+"""The CONCORD system facade: wires all three levels together.
+
+:class:`ConcordSystem` assembles the architecture of Fig.8 — CM at the
+server, one DM per DA on its workstation, client-TM per workstation,
+server-TM + repository at the server — over the simulated LAN, and
+offers the high-level operations examples and experiments use:
+creating DAs (with their DMs), running their work flows, injecting
+crashes, and recovering.
+
+This is the main entry point of the library::
+
+    system = ConcordSystem()
+    system.add_workstation("ws-1")
+    da = system.init_design(dot, spec, "alice", script, "ws-1",
+                            initial_data={...})
+    system.start(da.da_id)
+    system.run(da.da_id)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.activity import DesignActivity
+from repro.core.cooperation_manager import CooperationManager
+from repro.core.features import DesignSpecification
+from repro.dc.constraints import DomainConstraintSet
+from repro.dc.design_manager import (
+    DesignManager,
+    DesignerPolicy,
+    DmStatus,
+    ToolRegistry,
+)
+from repro.dc.rules import RuleEngine
+from repro.dc.script import DopStep, Script
+from repro.net.network import Network, Node
+from repro.net.rpc import TransactionalRpc
+from repro.net.two_phase_commit import CommitProtocol
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import DesignObjectType
+from repro.sim.clock import SimClock
+from repro.te.locks import LockManager
+from repro.te.recovery import RecoveryPointPolicy
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.util.errors import ConcordError
+from repro.util.ids import IdGenerator
+from repro.util.trace import EventTrace
+
+
+class ActivityBinding:
+    """Adapter giving a DM its DA-specific context (DaBinding impl)."""
+
+    def __init__(self, da: DesignActivity, cm: CooperationManager) -> None:
+        self._da = da
+        self._cm = cm
+
+    @property
+    def da_id(self) -> str:
+        """The bound DA's id."""
+        return self._da.da_id
+
+    @property
+    def dot_name(self) -> str:
+        """New DOVs are checked in under the DA's DOT."""
+        return self._da.dot.name
+
+    def pick_inputs(self, step: DopStep) -> list[str]:
+        """Default input choice: continue from the newest design state.
+
+        Prefers the most recent leaf of the DA's derivation graph,
+        falls back to the initial DOV (DOV0) and otherwise to DOVs
+        delivered along usage relationships; an empty list means the
+        tool starts from scratch.
+        """
+        explicit = step.params.get("inputs")
+        if explicit:
+            return list(explicit)
+        repo = self._cm.repository
+        if repo.has_graph(self.da_id):
+            leaves = repo.graph(self.da_id).leaves()
+            if leaves:
+                newest = max(leaves, key=lambda d: d.created_at)
+                return [newest.dov_id]
+        if self._da.vector.initial_dov is not None:
+            return [self._da.vector.initial_dov]
+        delivered = sorted(
+            self._cm.locks.scope_of(self.da_id))
+        if delivered:
+            return [delivered[0]]
+        return []
+
+    def _resolve_dov(self, params: dict[str, Any]) -> str:
+        dov = params.get("dov", "latest")
+        if dov != "latest":
+            return dov
+        repo = self._cm.repository
+        leaves = repo.graph(self.da_id).leaves() \
+            if repo.has_graph(self.da_id) else []
+        if not leaves:
+            raise ConcordError(
+                f"DA {self.da_id!r} has no DOV to operate on yet")
+        return max(leaves, key=lambda d: d.created_at).dov_id
+
+    def da_operation(self, operation: str, params: dict[str, Any]) -> Any:
+        """Dispatch an embedded DA operation to the CM."""
+        cm = self._cm
+        if operation == "Evaluate":
+            return cm.evaluate(self.da_id, self._resolve_dov(params))
+        if operation == "Propagate":
+            return cm.propagate(self.da_id, self._resolve_dov(params))
+        if operation == "Require":
+            return cm.require(self.da_id, params["supporting"],
+                              set(params["features"]))
+        if operation == "Sub_DA_Ready_To_Commit":
+            return cm.sub_da_ready_to_commit(self.da_id)
+        if operation == "Sub_DA_Impossible_Specification":
+            return cm.sub_da_impossible_specification(
+                self.da_id, params.get("reason", ""))
+        raise ConcordError(f"unsupported embedded DA operation "
+                           f"{operation!r}")
+
+
+@dataclass
+class DaRuntime:
+    """Everything attached to one living DA."""
+
+    da: DesignActivity
+    dm: DesignManager
+    binding: ActivityBinding
+    client_tm: ClientTM
+
+
+class ConcordSystem:
+    """A complete CONCORD installation on one simulated LAN."""
+
+    def __init__(self, trace: bool = True,
+                 recovery_policy: RecoveryPointPolicy | None = None,
+                 commit_protocol: CommitProtocol =
+                 CommitProtocol.PRESUMED_ABORT,
+                 lan_latency: float = 0.010,
+                 repository: Any = None) -> None:
+        self.clock = SimClock()
+        self.ids = IdGenerator()
+        self.trace = EventTrace(enabled=trace)
+        self.network = Network(self.clock, lan_latency=lan_latency)
+        self.server: Node = self.network.add_server()
+        self.rpc = TransactionalRpc(self.network)
+        # any object with the DesignDataRepository interface works here,
+        # e.g. a FederatedRepository — the paper's Sect.6 claim that
+        # distributed data management "does not influence the major
+        # model of operation"
+        self.repository = repository if repository is not None \
+            else DesignDataRepository(self.ids)
+        self.locks = LockManager()
+        self.server_tm = ServerTM(self.repository, self.locks,
+                                  self.network, trace=self.trace,
+                                  clock=self.clock)
+        register_server_endpoints(self.rpc, self.server_tm)
+        self.cm = CooperationManager(self.repository, self.locks,
+                                     self.network, ids=self.ids,
+                                     trace=self.trace)
+        self.cm.install_scope_check(self.server_tm)
+        self.tools = ToolRegistry()
+        self.recovery_policy = recovery_policy or RecoveryPointPolicy()
+        self.commit_protocol = commit_protocol
+        self._client_tms: dict[str, ClientTM] = {}
+        self._runtimes: dict[str, DaRuntime] = {}
+        self.constraints = DomainConstraintSet()
+
+        # server crash/restart wiring for the repository
+        self.server.on_crash.append(lambda: self.repository.crash())
+        self.server.on_restart.append(lambda: self.repository.recover())
+        self.server.on_restart.append(lambda: self.cm.recover())
+
+    # -- topology ------------------------------------------------------------
+
+    def add_workstation(self, name: str) -> ClientTM:
+        """Register a designer workstation with its client-TM."""
+        self.network.add_workstation(name)
+        client_tm = ClientTM(name, self.server_tm, self.rpc, self.clock,
+                             ids=self.ids, policy=self.recovery_policy,
+                             trace=self.trace,
+                             protocol=self.commit_protocol)
+        self._client_tms[name] = client_tm
+        return client_tm
+
+    def client_tm(self, workstation: str) -> ClientTM:
+        """The client-TM of a workstation."""
+        try:
+            return self._client_tms[workstation]
+        except KeyError:
+            raise ConcordError(
+                f"unknown workstation {workstation!r}") from None
+
+    # -- DA lifecycle -----------------------------------------------------------
+
+    def _attach_runtime(self, da: DesignActivity) -> DaRuntime:
+        client_tm = self.client_tm(da.workstation)
+        binding = ActivityBinding(da, self.cm)
+        dm = DesignManager(binding, client_tm, da.script, self.tools,
+                           constraints=self.constraints,
+                           rules=RuleEngine(), trace=self.trace)
+        self.cm.register_dm(da.da_id, dm)
+        runtime = DaRuntime(da, dm, binding, client_tm)
+        self._runtimes[da.da_id] = runtime
+        return runtime
+
+    def init_design(self, dot: DesignObjectType,
+                    spec: DesignSpecification, designer: str,
+                    script: Script, workstation: str,
+                    initial_data: dict[str, Any] | None = None
+                    ) -> DesignActivity:
+        """Create the top-level DA together with its design manager."""
+        da = self.cm.init_design(dot, spec, designer, script, workstation,
+                                 initial_data)
+        self._attach_runtime(da)
+        return da
+
+    def create_sub_da(self, super_id: str, dot: DesignObjectType,
+                      spec: DesignSpecification, designer: str,
+                      script: Script, workstation: str,
+                      initial_dov: str | None = None) -> DesignActivity:
+        """Delegate a subtask: sub-DA plus its DM on *workstation*."""
+        da = self.cm.create_sub_da(super_id, dot, spec, designer, script,
+                                   workstation, initial_dov)
+        self._attach_runtime(da)
+        return da
+
+    def runtime(self, da_id: str) -> DaRuntime:
+        """The runtime bundle (DA, DM, client-TM) of a DA."""
+        try:
+            return self._runtimes[da_id]
+        except KeyError:
+            raise ConcordError(f"no runtime for DA {da_id!r}") from None
+
+    def start(self, da_id: str) -> None:
+        """Start a generated DA."""
+        self.cm.start(da_id)
+
+    def run(self, da_id: str, policy: DesignerPolicy | None = None,
+            max_steps: int = 10_000) -> DmStatus:
+        """Drive a DA's work flow until done / stopped / max_steps."""
+        return self.runtime(da_id).dm.run(policy, max_steps)
+
+    def step(self, da_id: str,
+             policy: DesignerPolicy | None = None) -> bool:
+        """Execute a single work-flow action of a DA."""
+        return self.runtime(da_id).dm.step(policy)
+
+    # -- asynchronous cooperation events ----------------------------------------------
+
+    #: message kind -> ECA event name dispatched on the receiving DM
+    EVENT_NAMES = {
+        "require": "Require",
+        "proposal": "Propose",
+        "dov_delivered": "Delivered",
+        "withdrawal": "Withdrawal",
+        "ready_to_commit": "Ready_To_Commit",
+        "impossible_specification": "Impossible_Specification",
+        "specification_conflict": "Specification_Conflict",
+        "specification_modified": "Specification_Modified",
+        "disagree": "Disagree",
+    }
+
+    def pump_events(self, da_id: str | None = None) -> int:
+        """Deliver pending CM messages to the DMs' ECA rule engines.
+
+        "Cooperation relationships among DAs lead to asynchronously
+        occurring events within a DA ... generally asking the
+        receiving DA to react or reply" (Sect.4.2).  Each pending
+        message is consumed and dispatched as an (event, env) pair to
+        the recipient's rule engine; the env carries the payload, the
+        sender and handles to the system.  Returns the number of rule
+        firings.
+        """
+        recipients = [da_id] if da_id is not None else \
+            [d.da_id for d in self.cm.das()]
+        firings = 0
+        for recipient in recipients:
+            if recipient not in self._runtimes:
+                continue
+            dm = self._runtimes[recipient].dm
+            for message in self.cm.pop_messages(recipient):
+                event = self.EVENT_NAMES.get(message.kind, message.kind)
+                env = {
+                    "system": self,
+                    "da_id": recipient,
+                    "sender": message.sender,
+                    "message": message,
+                    **message.payload,
+                }
+                firings += len(dm.rules.dispatch(event, env))
+        return firings
+
+    # -- failure injection -----------------------------------------------------------
+
+    def crash_workstation(self, name: str) -> None:
+        """Crash a workstation: DOP contexts + DM volatile state vanish."""
+        self.network.crash_node(name)
+
+    def restart_workstation(self, name: str) -> dict[str, Any]:
+        """Restart a workstation and run DM forward recovery on it.
+
+        Returns the per-DA recovery reports.
+        """
+        self.network.restart_node(name)
+        reports: dict[str, Any] = {}
+        for da_id, runtime in self._runtimes.items():
+            if runtime.da.workstation == name \
+                    and runtime.da.state.value != "terminated":
+                reports[da_id] = runtime.dm.recover()
+        return reports
+
+    def crash_server(self) -> None:
+        """Crash the server: repository + CM volatile state vanish."""
+        self.network.crash_node(self.server.node_id)
+
+    def restart_server(self) -> None:
+        """Restart the server (repository redo + CM state reload run via
+        the registered restart hooks)."""
+        self.network.restart_node(self.server.node_id)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def level_summary(self) -> dict[str, int]:
+        """Events per architectural level (the Fig.1 regeneration)."""
+        return {level.value: count for level, count
+                in self.trace.count_by_level().items()}

@@ -1,0 +1,27 @@
+"""Simulated LAN substrate: nodes, transactional RPC, two-phase commit."""
+
+from repro.net.network import Network, Node, NodeKind, StableStorage
+from repro.net.rpc import RpcResult, TransactionalRpc
+from repro.net.two_phase_commit import (
+    CommitOutcome,
+    CommitProtocol,
+    Decision,
+    TwoPhaseCoordinator,
+    TwoPhaseParticipant,
+    Vote,
+)
+
+__all__ = [
+    "CommitOutcome",
+    "CommitProtocol",
+    "Decision",
+    "Network",
+    "Node",
+    "NodeKind",
+    "RpcResult",
+    "StableStorage",
+    "TransactionalRpc",
+    "TwoPhaseCoordinator",
+    "TwoPhaseParticipant",
+    "Vote",
+]

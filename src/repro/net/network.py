@@ -1,0 +1,191 @@
+"""Simulated workstation/server LAN.
+
+"Design is generally performed on a network of machines, where the
+prevailing architecture is a workstation/server environment (connected
+via a local area network)" (Sect.5.1).  This module models that
+environment deterministically:
+
+* :class:`Node` — a workstation or the server, with *stable storage*
+  (survives crashes) and *volatile state* (lost on crash), plus
+  registered crash/restart hooks so components (TMs, DMs, repository)
+  participate in failures;
+* :class:`Network` — synchronous message transport with per-hop cost
+  accounting (LAN vs same-machine), used by the RPC and 2PC layers and
+  by experiment T3's message/latency counts.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.sim.clock import SimClock
+from repro.util.errors import NetworkError, NodeDownError
+
+
+class NodeKind(str, Enum):
+    """Role of a machine in the workstation/server architecture."""
+
+    WORKSTATION = "workstation"
+    SERVER = "server"
+
+
+class StableStorage:
+    """Crash-surviving key/value storage local to one node.
+
+    Values are deep-copied on write and read so that components cannot
+    accidentally keep live references to "persistent" state — exactly
+    the bug class crash recovery must be robust against.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self.writes = 0
+
+    def put(self, key: str, value: Any) -> None:
+        """Durably store *value* under *key*."""
+        self._data[key] = copy.deepcopy(value)
+        self.writes += 1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read back a durable value (a private copy)."""
+        if key not in self._data:
+            return default
+        return copy.deepcopy(self._data[key])
+
+    def delete(self, key: str) -> bool:
+        """Remove a key; True when it existed."""
+        return self._data.pop(key, None) is not None
+
+    def keys(self, prefix: str = "") -> list[str]:
+        """All keys, or those with the given prefix, sorted."""
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass
+class Node:
+    """One machine: id, role, stable storage, volatile state, hooks."""
+
+    node_id: str
+    kind: NodeKind
+    stable: StableStorage = field(default_factory=StableStorage)
+    volatile: dict[str, Any] = field(default_factory=dict)
+    up: bool = True
+    #: callbacks invoked on crash (components drop volatile state here)
+    on_crash: list[Callable[[], None]] = field(default_factory=list)
+    #: callbacks invoked on restart (components run recovery here)
+    on_restart: list[Callable[[], None]] = field(default_factory=list)
+    crash_count: int = 0
+
+    def crash(self) -> None:
+        """Crash this node: volatile state vanishes, hooks fire."""
+        self.up = False
+        self.crash_count += 1
+        self.volatile.clear()
+        for hook in self.on_crash:
+            hook()
+
+    def restart(self) -> None:
+        """Bring the node back up and run registered recovery hooks."""
+        self.up = True
+        for hook in self.on_restart:
+            hook()
+
+    def require_up(self) -> None:
+        """Raise :class:`NodeDownError` unless the node is up."""
+        if not self.up:
+            raise NodeDownError(self.node_id)
+
+
+class Network:
+    """Synchronous message transport between registered nodes."""
+
+    def __init__(self, clock: SimClock | None = None,
+                 lan_latency: float = 0.010,
+                 local_latency: float = 0.001) -> None:
+        self.clock = clock or SimClock()
+        self.lan_latency = lan_latency
+        self.local_latency = local_latency
+        self._nodes: dict[str, Node] = {}
+        #: total messages sent (requests and responses each count once)
+        self.messages_sent = 0
+        #: accumulated transport latency (simulated time units)
+        self.total_latency = 0.0
+
+    # -- topology -------------------------------------------------------------
+
+    def add_node(self, node_id: str, kind: NodeKind) -> Node:
+        """Register a machine on the LAN."""
+        if node_id in self._nodes:
+            raise NetworkError(f"node {node_id!r} already registered")
+        node = Node(node_id, kind)
+        self._nodes[node_id] = node
+        return node
+
+    def add_server(self, node_id: str = "server") -> Node:
+        """Convenience: register the (single logical) server."""
+        return self.add_node(node_id, NodeKind.SERVER)
+
+    def add_workstation(self, node_id: str) -> Node:
+        """Convenience: register a designer workstation."""
+        return self.add_node(node_id, NodeKind.WORKSTATION)
+
+    def node(self, node_id: str) -> Node:
+        """Look up a registered node."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    def nodes(self, kind: NodeKind | None = None) -> list[Node]:
+        """All nodes, optionally filtered by role."""
+        if kind is None:
+            return list(self._nodes.values())
+        return [n for n in self._nodes.values() if n.kind is kind]
+
+    # -- transport --------------------------------------------------------------
+
+    def hop_latency(self, src: str, dst: str) -> float:
+        """Transport cost of one message (same machine is cheaper).
+
+        The paper notes that local communications (e.g. DM-TM on the
+        same workstation) can use "main memory communication" — hence
+        the distinct local latency.
+        """
+        return self.local_latency if src == dst else self.lan_latency
+
+    def send(self, src: str, dst: str) -> float:
+        """Account one message src->dst; raises when either end is down.
+
+        Returns the hop latency so callers can advance their own cost
+        model; the network also accumulates it in :attr:`total_latency`.
+        """
+        self.node(src).require_up()
+        self.node(dst).require_up()
+        self.messages_sent += 1
+        latency = self.hop_latency(src, dst)
+        self.total_latency += latency
+        return latency
+
+    # -- failures -----------------------------------------------------------------
+
+    def crash_node(self, node_id: str) -> None:
+        """Crash one machine."""
+        self.node(node_id).crash()
+
+    def restart_node(self, node_id: str) -> None:
+        """Restart one machine (runs its recovery hooks)."""
+        self.node(node_id).restart()
+
+    def reset_counters(self) -> None:
+        """Zero the message/latency counters (between measurements)."""
+        self.messages_sent = 0
+        self.total_latency = 0.0

@@ -1,0 +1,159 @@
+"""Version configurations over derivation graphs.
+
+The paper sidesteps them — "the specific version model and the applied
+notion of configurations are beyond the scope of this paper"
+(Sect.4.2) — and points to [KS92] for the full model.  This module
+implements the essential notion as an extension: a **configuration**
+binds one concrete DOV to each *slot* (e.g. one version per subcell of
+a CUD), so a composite design state can be named, validated, frozen and
+evolved as a unit.
+
+Operations:
+
+* :meth:`ConfigurationManager.compose` — build a configuration from
+  explicit slot bindings;
+* :meth:`ConfigurationManager.latest` — bind every slot to the newest
+  qualifying version of its DA;
+* :meth:`Configuration.validate` — all members durable, slot DOTs
+  consistent, at most one version per derivation graph (no self-
+  conflicting configuration);
+* :meth:`ConfigurationManager.freeze` — make the configuration
+  immutable;
+* :meth:`ConfigurationManager.derive` — successor configuration with
+  some slots rebound (history is kept as a configuration lineage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.repository.repository import DesignDataRepository
+from repro.util.errors import RepositoryError, UnknownObjectError
+from repro.util.ids import IdGenerator
+
+
+@dataclass
+class Configuration:
+    """A named binding of slots to concrete DOVs."""
+
+    config_id: str
+    name: str
+    #: slot name (e.g. subcell name) -> DOV id
+    bindings: dict[str, str]
+    created_at: float = 0.0
+    frozen: bool = False
+    #: predecessor configuration, if derived
+    parent: str | None = None
+
+    def validate(self, repository: DesignDataRepository) -> list[str]:
+        """Consistency problems of this configuration (empty = valid)."""
+        problems: list[str] = []
+        seen_graphs: dict[str, str] = {}
+        for slot, dov_id in sorted(self.bindings.items()):
+            if dov_id not in repository:
+                problems.append(f"slot {slot!r}: DOV {dov_id!r} is not "
+                                f"durable")
+                continue
+            dov = repository.read(dov_id)
+            owner = dov.created_by
+            if owner in seen_graphs and seen_graphs[owner] != dov_id:
+                problems.append(
+                    f"slot {slot!r}: second version of derivation graph "
+                    f"{owner!r} (already bound: {seen_graphs[owner]!r})")
+            seen_graphs.setdefault(owner, dov_id)
+        return problems
+
+    def members(self) -> list[str]:
+        """The bound DOV ids, slot-sorted."""
+        return [self.bindings[s] for s in sorted(self.bindings)]
+
+
+class ConfigurationManager:
+    """Creates, freezes and evolves configurations over a repository."""
+
+    def __init__(self, repository: DesignDataRepository,
+                 ids: IdGenerator | None = None) -> None:
+        self.repository = repository
+        self.ids = ids or IdGenerator()
+        self._configs: dict[str, Configuration] = {}
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, config_id: str) -> Configuration:
+        """Look up a configuration."""
+        try:
+            return self._configs[config_id]
+        except KeyError:
+            raise UnknownObjectError(
+                f"unknown configuration {config_id!r}") from None
+
+    def configurations(self) -> list[Configuration]:
+        """All configurations, oldest first."""
+        return list(self._configs.values())
+
+    # -- creation --------------------------------------------------------------
+
+    def compose(self, name: str, bindings: dict[str, str],
+                created_at: float = 0.0,
+                require_valid: bool = True) -> Configuration:
+        """Build a configuration from explicit slot bindings."""
+        config = Configuration(self.ids.next("cfg"), name,
+                               dict(bindings), created_at)
+        if require_valid:
+            problems = config.validate(self.repository)
+            if problems:
+                raise RepositoryError(
+                    f"configuration {name!r} invalid: "
+                    + "; ".join(problems))
+        self._configs[config.config_id] = config
+        return config
+
+    def latest(self, name: str, slot_to_da: dict[str, str],
+               created_at: float = 0.0) -> Configuration:
+        """Bind each slot to the newest leaf of its DA's graph."""
+        bindings = {}
+        for slot, da_id in slot_to_da.items():
+            graph = self.repository.graph(da_id)
+            leaves = graph.leaves()
+            if not leaves:
+                raise RepositoryError(
+                    f"slot {slot!r}: DA {da_id!r} has no versions yet")
+            newest = max(leaves, key=lambda d: (d.created_at, d.dov_id))
+            bindings[slot] = newest.dov_id
+        return self.compose(name, bindings, created_at)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def freeze(self, config_id: str) -> Configuration:
+        """Make a configuration immutable (a named release state)."""
+        config = self.get(config_id)
+        config.frozen = True
+        return config
+
+    def derive(self, config_id: str, name: str,
+               rebind: dict[str, str],
+               created_at: float = 0.0) -> Configuration:
+        """Successor configuration with some slots rebound.
+
+        The predecessor must stay intact: deriving from a frozen
+        configuration is the normal evolution path.
+        """
+        base = self.get(config_id)
+        unknown = set(rebind) - set(base.bindings)
+        if unknown:
+            raise RepositoryError(
+                f"cannot rebind unknown slots {sorted(unknown)}")
+        bindings = {**base.bindings, **rebind}
+        successor = self.compose(name, bindings, created_at)
+        successor.parent = base.config_id
+        return successor
+
+    def lineage(self, config_id: str) -> list[Configuration]:
+        """The configuration's ancestry, oldest first."""
+        chain: list[Configuration] = []
+        current: Configuration | None = self.get(config_id)
+        while current is not None:
+            chain.append(current)
+            current = (self._configs.get(current.parent)
+                       if current.parent else None)
+        return list(reversed(chain))

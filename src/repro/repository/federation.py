@@ -1,0 +1,224 @@
+"""Federated (distributed, heterogeneous) design data repositories.
+
+The paper's future work (Sect.6): "A realistic approach needs to
+consider distributed data management by heterogeneous facilities in
+order to support data exchange and interoperability of these tools.
+Since CONCORD has been designed to be a distributed, transactional
+system we assume that heterogeneous and distributed data management
+does not influence the major model of operation."
+
+:class:`FederatedRepository` validates that assumption: it presents the
+exact :class:`~repro.repository.repository.DesignDataRepository`
+interface the TM and CM consume, while placing each DA's derivation
+graph on one of several member repositories and routing reads through a
+global DOV directory.  The activity managers run unchanged on top of
+it — the property the paper predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import DesignObjectType
+from repro.repository.versions import DerivationGraph, DesignObjectVersion
+from repro.util.errors import UnknownObjectError
+
+
+class FederatedRepository:
+    """Several member repositories behind one repository interface.
+
+    Placement: every DA is assigned to one member (explicitly via
+    :meth:`assign`, else round-robin at :meth:`create_graph` time); the
+    DA's derivation graph and all DOVs it checks in live there.  A
+    directory maps DOV ids to members so cross-member reads (usage
+    relationships!) are transparent.
+    """
+
+    def __init__(self, members: dict[str, DesignDataRepository]) -> None:
+        if not members:
+            raise ValueError("a federation needs at least one member")
+        self._members = dict(members)
+        self._member_order = list(members)
+        self._next_member = 0
+        #: da_id -> member name
+        self._placement: dict[str, str] = {}
+        #: dov_id -> member name (global directory)
+        self._directory: dict[str, str] = {}
+
+    # -- membership ------------------------------------------------------------
+
+    def member(self, name: str) -> DesignDataRepository:
+        """Access one member repository."""
+        try:
+            return self._members[name]
+        except KeyError:
+            raise UnknownObjectError(
+                f"no federation member {name!r}") from None
+
+    def members(self) -> dict[str, DesignDataRepository]:
+        """All members by name."""
+        return dict(self._members)
+
+    def assign(self, da_id: str, member: str) -> None:
+        """Pin a DA's data to a specific member (before create_graph)."""
+        self.member(member)
+        self._placement[da_id] = member
+
+    def placement_of(self, da_id: str) -> str:
+        """The member holding a DA's derivation graph."""
+        try:
+            return self._placement[da_id]
+        except KeyError:
+            raise UnknownObjectError(
+                f"DA {da_id!r} is not placed in the federation") from None
+
+    def _home(self, da_id: str) -> DesignDataRepository:
+        return self.member(self.placement_of(da_id))
+
+    def _locate_dov(self, dov_id: str) -> DesignDataRepository:
+        member = self._directory.get(dov_id)
+        if member is None:
+            raise UnknownObjectError(
+                f"DOV {dov_id!r} not in the federation directory")
+        return self.member(member)
+
+    # -- schema (broadcast: every member knows every DOT) ------------------------
+
+    def register_dot(self, dot: DesignObjectType) -> DesignObjectType:
+        """Register a DOT with every member (heterogeneity-transparent)."""
+        for repo in self._members.values():
+            if dot.name not in {d.name for d in repo.dots()}:
+                repo.register_dot(dot)
+        return dot
+
+    def dot(self, name: str) -> DesignObjectType:
+        """Look up a DOT (any member; schemas are broadcast)."""
+        first = self._members[self._member_order[0]]
+        return first.dot(name)
+
+    def dots(self) -> Iterator[DesignObjectType]:
+        """All DOTs (from the first member; schemas are broadcast)."""
+        return self._members[self._member_order[0]].dots()
+
+    # -- graphs ---------------------------------------------------------------------
+
+    def create_graph(self, da_id: str) -> DerivationGraph:
+        """Open a DA's graph on its (assigned or round-robin) member."""
+        if da_id not in self._placement:
+            member = self._member_order[self._next_member
+                                        % len(self._member_order)]
+            self._next_member += 1
+            self._placement[da_id] = member
+        return self._home(da_id).create_graph(da_id)
+
+    def graph(self, da_id: str) -> DerivationGraph:
+        """The derivation graph of a DA (wherever it lives)."""
+        return self._home(da_id).graph(da_id)
+
+    def has_graph(self, da_id: str) -> bool:
+        """True when some member holds a graph for *da_id*."""
+        if da_id not in self._placement:
+            return False
+        return self._home(da_id).has_graph(da_id)
+
+    # -- reads -----------------------------------------------------------------------
+
+    def read(self, dov_id: str) -> DesignObjectVersion:
+        """Directory-routed read across members."""
+        return self._locate_dov(dov_id).read(dov_id)
+
+    def __contains__(self, dov_id: str) -> bool:
+        member = self._directory.get(dov_id)
+        return member is not None and dov_id in self._members[member]
+
+    # -- checkin ---------------------------------------------------------------------
+
+    def stage_checkin(self, da_id: str, dot_name: str,
+                      data: dict[str, Any], parents: tuple[str, ...],
+                      created_at: float) -> DesignObjectVersion:
+        """Stage on the DA's home member.
+
+        Cross-member parents are legitimate (usage-relationship
+        inputs): they are checked against the directory instead of the
+        home member's store.
+        """
+        home = self._home(da_id)
+        local_parents = tuple(p for p in parents if p in home.store)
+        foreign_parents = [p for p in parents if p not in home.store]
+        for parent in foreign_parents:
+            if parent not in self._directory:
+                raise UnknownObjectError(
+                    f"parent DOV {parent!r} unknown to the federation")
+        dov = home.stage_checkin(da_id, dot_name, data, local_parents,
+                                 created_at)
+        if foreign_parents:
+            # record the full (cross-member) lineage on the version
+            patched = DesignObjectVersion(
+                dov.dov_id, dov.dot_name, dov.data, dov.created_by,
+                dov.created_at, tuple(parents))
+            home.store.replace_staged(patched)
+            dov = patched
+        return dov
+
+    def commit_checkin(self, dov_id: str) -> DesignObjectVersion:
+        """Commit on the member that staged it; update the directory."""
+        for name, repo in self._members.items():
+            if dov_id in repo.store.staged_ids():
+                dov = repo.commit_checkin(dov_id)
+                self._directory[dov_id] = name
+                return dov
+        raise UnknownObjectError(
+            f"no staged checkin for DOV {dov_id!r} in any member")
+
+    def abort_checkin(self, dov_id: str) -> bool:
+        """Abort wherever the version was staged."""
+        return any(repo.abort_checkin(dov_id)
+                   for repo in self._members.values())
+
+    def checkin(self, da_id: str, dot_name: str, data: dict[str, Any],
+                parents: tuple[str, ...] = (),
+                created_at: float = 0.0) -> DesignObjectVersion:
+        """One-shot checkin via the DA's home member."""
+        dov = self.stage_checkin(da_id, dot_name, data, parents,
+                                 created_at)
+        return self.commit_checkin(dov.dov_id)
+
+    # -- failure ---------------------------------------------------------------------
+
+    def crash_member(self, name: str) -> dict[str, int]:
+        """Crash one member; the others keep serving."""
+        return self.member(name).crash()
+
+    def recover_member(self, name: str) -> dict[str, int]:
+        """Recover one member from its own WAL."""
+        return self.member(name).recover()
+
+    def crash(self) -> dict[str, int]:
+        """Crash every member (whole-site failure, interface parity
+        with :class:`DesignDataRepository`)."""
+        totals: dict[str, int] = {}
+        for repo in self._members.values():
+            for key, value in repo.crash().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def recover(self) -> dict[str, int]:
+        """Recover every member from its own WAL."""
+        totals: dict[str, int] = {}
+        for repo in self._members.values():
+            for key, value in repo.recover().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # -- stats -----------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Federation-wide statistics."""
+        return {
+            "members": len(self._members),
+            "placements": len(self._placement),
+            "directory_entries": len(self._directory),
+            "per_member": {name: repo.stats()
+                           for name, repo in self._members.items()},
+        }

@@ -1,0 +1,255 @@
+"""The design data repository facade (the paper's "advanced DBMS").
+
+This is the integrated data repository of Fig.1: it manages design
+object types (schemas), design object versions, and per-DA derivation
+graphs.  The server-TM drives it through four operations:
+
+* :meth:`create_graph` — open a derivation graph for a new DA;
+* :meth:`read` — checkout-side read of a durable DOV;
+* :meth:`stage_checkin` / :meth:`commit_checkin` / :meth:`abort_checkin`
+  — the two-phase checkin used by the TM's 2PC between client and
+  server ("client-TM and server-TM have to accomplish a two-phase-commit
+  protocol for all their critical interactions", Sect.5.2);
+* :meth:`crash` / :meth:`recover` — server-failure semantics: durable
+  DOVs and graph structure are rebuilt from the WAL.
+
+Schema consistency is enforced here: "The consistency of the newly
+created DOV has to be checked" on checkin (Sect.5.2) — violations raise
+:class:`IntegrityError`, which the TM reports upward as the paper's
+'checkin failure' situation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.repository.schema import DesignObjectType
+from repro.repository.storage import VersionStore
+from repro.repository.versions import DerivationGraph, DesignObjectVersion
+from repro.repository.wal import LogRecordKind, WriteAheadLog
+from repro.util.errors import (
+    IntegrityError,
+    SchemaError,
+    UnknownObjectError,
+)
+from repro.util.ids import IdGenerator
+
+
+class DesignDataRepository:
+    """Versioned complex-object store with per-DA derivation graphs."""
+
+    def __init__(self, ids: IdGenerator | None = None,
+                 wal: WriteAheadLog | None = None) -> None:
+        self.ids = ids or IdGenerator()
+        self.wal = wal if wal is not None else WriteAheadLog("repository")
+        self.store = VersionStore(self.wal)
+        self._dots: dict[str, DesignObjectType] = {}
+        self._graphs: dict[str, DerivationGraph] = {}
+        #: staged checkins: dov_id -> owning graph (DA id)
+        self._pending: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ schema
+
+    def register_dot(self, dot: DesignObjectType) -> DesignObjectType:
+        """Register a design object type (idempotent for identical names)."""
+        existing = self._dots.get(dot.name)
+        if existing is not None and existing is not dot:
+            raise SchemaError(f"DOT {dot.name!r} already registered")
+        self._dots[dot.name] = dot
+        return dot
+
+    def dot(self, name: str) -> DesignObjectType:
+        """Look up a registered DOT."""
+        try:
+            return self._dots[name]
+        except KeyError:
+            raise UnknownObjectError(f"DOT {name!r} not registered") from None
+
+    def dots(self) -> Iterator[DesignObjectType]:
+        """All registered DOTs."""
+        return iter(self._dots.values())
+
+    # ------------------------------------------------------------------ graphs
+
+    def create_graph(self, da_id: str) -> DerivationGraph:
+        """Open the derivation graph for a newly created DA."""
+        if da_id in self._graphs:
+            raise UnknownObjectError(
+                f"derivation graph for {da_id!r} already exists")
+        graph = DerivationGraph(owner=da_id)
+        self._graphs[da_id] = graph
+        self.wal.append(LogRecordKind.GRAPH_CREATE, {"da": da_id}, force=True)
+        return graph
+
+    def graph(self, da_id: str) -> DerivationGraph:
+        """The derivation graph of a DA."""
+        try:
+            return self._graphs[da_id]
+        except KeyError:
+            raise UnknownObjectError(
+                f"no derivation graph for DA {da_id!r}") from None
+
+    def has_graph(self, da_id: str) -> bool:
+        """True when *da_id* owns a derivation graph."""
+        return da_id in self._graphs
+
+    # ------------------------------------------------------------------ reads
+
+    def read(self, dov_id: str) -> DesignObjectVersion:
+        """Read a durable version (checkout-side access)."""
+        return self.store.get(dov_id)
+
+    def __contains__(self, dov_id: str) -> bool:
+        return dov_id in self.store
+
+    # ------------------------------------------------------------- checkin 2PC
+
+    def stage_checkin(self, da_id: str, dot_name: str,
+                      data: dict[str, Any], parents: tuple[str, ...],
+                      created_at: float) -> DesignObjectVersion:
+        """Phase 1 of checkin: validate and stage a new version.
+
+        Raises :class:`IntegrityError` when the data violates the DOT's
+        schema constraints — the paper's 'checkin failure' case — and
+        :class:`UnknownObjectError` for unknown parents or graph.
+        """
+        dot = self.dot(dot_name)
+        graph = self.graph(da_id)
+        problems = dot.validate(data)
+        if problems:
+            raise IntegrityError(
+                f"checkin into {da_id!r} rejected: " + "; ".join(problems))
+        for parent in parents:
+            if parent not in self.store:
+                raise UnknownObjectError(
+                    f"parent DOV {parent!r} is not durable")
+        dov = DesignObjectVersion(
+            dov_id=self.ids.next("dov"),
+            dot_name=dot_name,
+            data=dict(data),
+            created_by=da_id,
+            created_at=created_at,
+            parents=parents,
+        )
+        self.store.stage(dov)
+        self._pending[dov.dov_id] = graph.owner
+        return dov
+
+    def commit_checkin(self, dov_id: str) -> DesignObjectVersion:
+        """Phase 2 (commit): make the version durable, extend the graph."""
+        try:
+            da_id = self._pending.pop(dov_id)
+        except KeyError:
+            raise UnknownObjectError(
+                f"no staged checkin for DOV {dov_id!r}") from None
+        dov = self.store.commit(dov_id)
+        self._graphs[da_id].add(dov)
+        return dov
+
+    def abort_checkin(self, dov_id: str) -> bool:
+        """Phase 2 (abort): drop the staged version."""
+        self._pending.pop(dov_id, None)
+        return self.store.discard(dov_id)
+
+    def checkin(self, da_id: str, dot_name: str, data: dict[str, Any],
+                parents: tuple[str, ...] = (),
+                created_at: float = 0.0) -> DesignObjectVersion:
+        """One-shot checkin (stage + commit) for non-distributed callers."""
+        dov = self.stage_checkin(da_id, dot_name, data, parents, created_at)
+        return self.commit_checkin(dov.dov_id)
+
+    # ------------------------------------------------------------- checkpointing
+
+    def checkpoint(self) -> int:
+        """Write a checkpoint and truncate the WAL before it.
+
+        The checkpoint record carries the complete durable state
+        (versions + graph owners), so recovery only needs the latest
+        checkpoint plus the WAL tail after it — the standard trade of
+        log length against checkpoint cost.  Returns the number of WAL
+        records truncated.
+        """
+        dovs = [{
+            "dov_id": dov.dov_id, "dot": dov.dot_name, "data": dov.data,
+            "created_by": dov.created_by, "created_at": dov.created_at,
+            "parents": list(dov.parents),
+        } for dov in self.store]
+        record = self.wal.append(LogRecordKind.CHECKPOINT, {
+            "dovs": dovs,
+            "graph_owners": sorted(self._graphs),
+        }, force=True)
+        return self.wal.truncate(up_to_lsn=record.lsn - 1)
+
+    # ------------------------------------------------------------------ failure
+
+    def crash(self) -> dict[str, int]:
+        """Server crash: volatile state (staged checkins, graphs map) lost."""
+        report = self.store.crash()
+        report["pending_lost"] = len(self._pending)
+        self._pending.clear()
+        self._graphs.clear()
+        return report
+
+    def recover(self) -> dict[str, int]:
+        """Restart: restore the latest checkpoint (if any), then redo
+        the WAL tail to rebuild durable DOVs and derivation graphs."""
+        checkpoints = self.wal.stable_records(LogRecordKind.CHECKPOINT)
+        checkpoint_lsn = 0
+        recovered = 0
+        if checkpoints:
+            latest = checkpoints[-1]
+            checkpoint_lsn = latest.lsn
+            dovs = [DesignObjectVersion(
+                dov_id=raw["dov_id"], dot_name=raw["dot"],
+                data=dict(raw["data"]), created_by=raw["created_by"],
+                created_at=raw["created_at"],
+                parents=tuple(raw["parents"]),
+            ) for raw in latest.payload["dovs"]]
+            recovered += self.store.restore_bulk(dovs)
+            for da_id in latest.payload["graph_owners"]:
+                self._graphs.setdefault(da_id, DerivationGraph(owner=da_id))
+        else:
+            recovered += self.store.recover()
+
+        for record in self.wal.stable_records(LogRecordKind.GRAPH_CREATE):
+            if record.lsn <= checkpoint_lsn:
+                continue
+            da_id = record.payload["da"]
+            if da_id not in self._graphs:
+                self._graphs[da_id] = DerivationGraph(owner=da_id)
+        if checkpoints:
+            # redo checkins logged after the checkpoint
+            for record in self.wal.stable_records(LogRecordKind.DOV_CHECKIN):
+                if record.lsn <= checkpoint_lsn:
+                    continue
+                payload = record.payload
+                dov = DesignObjectVersion(
+                    dov_id=payload["dov_id"], dot_name=payload["dot"],
+                    data=dict(payload["data"]),
+                    created_by=payload["created_by"],
+                    created_at=payload["created_at"],
+                    parents=tuple(payload["parents"]))
+                recovered += self.store.restore_bulk([dov])
+        # (re)populate graphs from the durable versions, parents first
+        def creation_order(dov: DesignObjectVersion) -> tuple:
+            suffix = dov.dov_id.rsplit("-", 1)[-1]
+            numeric = int(suffix) if suffix.isdigit() else 0
+            return (dov.created_at, numeric, dov.dov_id)
+
+        for dov in sorted(self.store, key=creation_order):
+            graph = self._graphs.get(dov.created_by)
+            if graph is not None and dov.dov_id not in graph:
+                graph.add(dov)
+        return {"versions": recovered, "graphs": len(self._graphs)}
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict[str, int]:
+        """Repository size snapshot (used in bench output)."""
+        return {
+            "dots": len(self._dots),
+            "graphs": len(self._graphs),
+            "durable_versions": len(self.store),
+            "staged_versions": len(self.store.staged_ids()),
+            "wal_records": len(self.wal),
+        }

@@ -1,0 +1,166 @@
+"""Design object versions (DOVs) and derivation graphs.
+
+"All the DOVs created within a DA are organized in a *derivation graph*,
+and belong to the scope of that very DA" (Sect.4.1).  A DOV is an
+immutable snapshot of design data: tools never update a version in
+place, they check out input versions and check in a newly derived one.
+The derivation graph records which versions each new version was derived
+from; it is a DAG per DA (multiple parents arise when a tool merges
+several inputs).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.errors import UnknownObjectError
+
+
+@dataclass(frozen=True)
+class DesignObjectVersion:
+    """One immutable design state.
+
+    Attributes
+    ----------
+    dov_id:
+        Repository-wide unique identifier.
+    dot_name:
+        Name of the :class:`~repro.repository.schema.DesignObjectType`
+        this version instantiates.
+    data:
+        Flat attribute dict (validated against the DOT on checkin).
+    created_by:
+        Id of the DA in whose scope the version was derived.
+    created_at:
+        Simulated checkin time.
+    parents:
+        Ids of the versions this one was derived from (empty for DOV0 /
+        initial versions).
+    """
+
+    dov_id: str
+    dot_name: str
+    data: dict[str, Any]
+    created_by: str
+    created_at: float
+    parents: tuple[str, ...] = ()
+
+    def copy_data(self) -> dict[str, Any]:
+        """Deep copy of the payload (checkout hands tools a private copy)."""
+        return copy.deepcopy(self.data)
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        """Convenience attribute accessor."""
+        return self.data.get(attr, default)
+
+
+@dataclass
+class DerivationGraph:
+    """The per-DA DAG of design object versions.
+
+    The graph owner (a DA id) matters for scope checks: the TM protects
+    each DA's derivation graph with short locks during checkin
+    (Sect.5.2), and the CM's scope-locks isolate whole graphs.
+    """
+
+    owner: str
+    _nodes: dict[str, DesignObjectVersion] = field(default_factory=dict)
+    _children: dict[str, list[str]] = field(default_factory=dict)
+    root_id: str | None = None
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, dov: DesignObjectVersion) -> None:
+        """Insert a version; parents already in the graph gain an edge.
+
+        Parents from *other* graphs (usage-relationship inputs) are
+        recorded on the DOV itself but do not create local edges.
+        """
+        if dov.dov_id in self._nodes:
+            raise ValueError(f"duplicate DOV {dov.dov_id!r} in graph "
+                             f"of {self.owner!r}")
+        self._nodes[dov.dov_id] = dov
+        self._children.setdefault(dov.dov_id, [])
+        for parent in dov.parents:
+            if parent in self._nodes:
+                self._children[parent].append(dov.dov_id)
+        if self.root_id is None and not dov.parents:
+            self.root_id = dov.dov_id
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, dov_id: str) -> bool:
+        return dov_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[DesignObjectVersion]:
+        return iter(self._nodes.values())
+
+    def get(self, dov_id: str) -> DesignObjectVersion:
+        """Look up a version; raises :class:`UnknownObjectError`."""
+        try:
+            return self._nodes[dov_id]
+        except KeyError:
+            raise UnknownObjectError(
+                f"DOV {dov_id!r} not in derivation graph of "
+                f"{self.owner!r}") from None
+
+    def ids(self) -> set[str]:
+        """Ids of all versions in this graph."""
+        return set(self._nodes)
+
+    def children_of(self, dov_id: str) -> list[str]:
+        """Direct successors of a version within this graph."""
+        if dov_id not in self._nodes:
+            raise UnknownObjectError(f"DOV {dov_id!r} not in graph")
+        return list(self._children[dov_id])
+
+    def leaves(self) -> list[DesignObjectVersion]:
+        """Versions without successors — the current frontier."""
+        return [self._nodes[i] for i, kids in self._children.items()
+                if not kids]
+
+    def descendants_of(self, dov_id: str) -> set[str]:
+        """All (transitive) successors of *dov_id* within this graph."""
+        if dov_id not in self._nodes:
+            raise UnknownObjectError(f"DOV {dov_id!r} not in graph")
+        seen: set[str] = set()
+        stack = list(self._children[dov_id])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._children[node])
+        return seen
+
+    def ancestors_of(self, dov_id: str) -> set[str]:
+        """All (transitive) predecessors of *dov_id* within this graph."""
+        target = self.get(dov_id)
+        seen: set[str] = set()
+        stack = [p for p in target.parents if p in self._nodes]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(p for p in self._nodes[node].parents
+                         if p in self._nodes)
+        return seen
+
+    def is_ancestor(self, maybe_ancestor: str, dov_id: str) -> bool:
+        """True when *maybe_ancestor* precedes *dov_id* in this graph."""
+        return maybe_ancestor in self.ancestors_of(dov_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialisable snapshot (used by the CM's persistent state)."""
+        return {
+            "owner": self.owner,
+            "root": self.root_id,
+            "nodes": sorted(self._nodes),
+            "edges": {k: list(v) for k, v in self._children.items() if v},
+        }

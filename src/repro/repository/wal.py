@@ -1,0 +1,134 @@
+"""Write-ahead log.
+
+Durability of derived DOVs "is guaranteed by the data repository, i.e.
+by the logging and recovery methods of the server-TM" (Sect.5.2).  This
+module provides that logging substrate: an append-only log with explicit
+*force* (flush-to-stable) semantics.  A simulated crash discards the
+unforced tail; recovery replays the stable prefix.
+
+The same mechanism backs the DM's persistent script/log and the CM's
+cooperation-protocol log — each component owns its own
+:class:`WriteAheadLog` instance on its node's stable storage.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+
+class LogRecordKind(str, Enum):
+    """Record types used across the activity managers."""
+
+    # repository / server-TM
+    DOV_CHECKIN = "dov_checkin"
+    GRAPH_CREATE = "graph_create"
+    TXN_PREPARE = "txn_prepare"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+    # client-TM
+    RECOVERY_POINT = "recovery_point"
+    SAVEPOINT = "savepoint"
+    # DM
+    DOP_START = "dop_start"
+    DOP_FINISH = "dop_finish"
+    SCRIPT_POSITION = "script_position"
+    DOV_USED = "dov_used"
+    # CM
+    COOP_OPERATION = "coop_operation"
+    DA_STATE = "da_state"
+    # generic
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One immutable log entry."""
+
+    lsn: int
+    kind: LogRecordKind
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class WriteAheadLog:
+    """Append-only log with a volatile tail and a stable prefix.
+
+    ``append`` adds to the volatile tail, ``force`` moves the tail to
+    stable storage (counted, because experiment T3 measures forced log
+    writes), ``crash`` discards the tail, and ``stable_records`` is what
+    recovery sees after a crash.
+    """
+
+    def __init__(self, name: str = "wal") -> None:
+        self.name = name
+        self._stable: list[LogRecord] = []
+        self._volatile: list[LogRecord] = []
+        self._next_lsn = 1
+        #: number of force() calls that actually flushed something
+        self.forced_writes = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, kind: LogRecordKind,
+               payload: dict[str, Any] | None = None,
+               force: bool = False) -> LogRecord:
+        """Append a record; optionally force it to stable storage."""
+        record = LogRecord(self._next_lsn, kind,
+                           copy.deepcopy(payload or {}))
+        self._next_lsn += 1
+        self._volatile.append(record)
+        if force:
+            self.force()
+        return record
+
+    def force(self) -> int:
+        """Flush the volatile tail; returns the number of records flushed."""
+        flushed = len(self._volatile)
+        if flushed:
+            self._stable.extend(self._volatile)
+            self._volatile.clear()
+            self.forced_writes += 1
+        return flushed
+
+    # -- failure ------------------------------------------------------------
+
+    def crash(self) -> int:
+        """Simulate a crash: the unforced tail is lost. Returns #lost."""
+        lost = len(self._volatile)
+        self._volatile.clear()
+        return lost
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def stable_lsn(self) -> int:
+        """Highest LSN guaranteed to survive a crash (0 when empty)."""
+        return self._stable[-1].lsn if self._stable else 0
+
+    def stable_records(self,
+                       kind: LogRecordKind | None = None) -> list[LogRecord]:
+        """The crash-surviving prefix, optionally filtered by kind."""
+        if kind is None:
+            return list(self._stable)
+        return [r for r in self._stable if r.kind is kind]
+
+    def all_records(self) -> list[LogRecord]:
+        """Stable prefix plus volatile tail (pre-crash view)."""
+        return self._stable + self._volatile
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.all_records())
+
+    def __len__(self) -> int:
+        return len(self._stable) + len(self._volatile)
+
+    def truncate(self, up_to_lsn: int) -> int:
+        """Discard stable records with ``lsn <= up_to_lsn`` (checkpointing).
+
+        Returns the number of records discarded.
+        """
+        before = len(self._stable)
+        self._stable = [r for r in self._stable if r.lsn > up_to_lsn]
+        return before - len(self._stable)

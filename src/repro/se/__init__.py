@@ -1,0 +1,27 @@
+"""The software-engineering design domain (Sect.6's second in-field
+validation area): DOTs, tools and methodology for team software
+development under CONCORD."""
+
+from repro.se.methodology import (
+    development_script,
+    module_script,
+    release_spec,
+    se_constraints,
+)
+from repro.se.tools import (
+    SE_TOOL_DURATIONS,
+    register_se_tools,
+    review_passes,
+    se_dots,
+)
+
+__all__ = [
+    "SE_TOOL_DURATIONS",
+    "development_script",
+    "module_script",
+    "register_se_tools",
+    "release_spec",
+    "review_passes",
+    "se_constraints",
+    "se_dots",
+]

@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate: clock, scheduler, failure plans."""
+
+from repro.sim.clock import SimClock
+from repro.sim.failures import FailureEvent, FailureKind, FailurePlan
+from repro.sim.injector import FailureInjector, InjectionLogEntry
+from repro.sim.scheduler import EventScheduler
+
+__all__ = [
+    "EventScheduler",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureKind",
+    "FailurePlan",
+    "InjectionLogEntry",
+    "SimClock",
+]

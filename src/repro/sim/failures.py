@@ -1,0 +1,64 @@
+"""Failure injection plans.
+
+The paper's failure model (Sect.5) distinguishes two system failures:
+*crash of workstation* and *crash of server*.  A :class:`FailurePlan`
+describes, for one simulated run, which node crashes when and when it
+restarts.  The experiment drivers (F8, T2) hand the plan to the network
+substrate which enacts it; components then exercise their level-specific
+recovery (TM recovery points, DM log replay, CM persistent hierarchy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class FailureKind(str, Enum):
+    """Which half of the workstation/server architecture fails."""
+
+    WORKSTATION_CRASH = "workstation_crash"
+    SERVER_CRASH = "server_crash"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One crash (and optional restart) of one node."""
+
+    kind: FailureKind
+    node: str           # node id in the simulated LAN
+    at: float           # simulated crash instant
+    restart_after: float = 1.0  # downtime before the node restarts
+
+    @property
+    def restart_at(self) -> float:
+        """Simulated instant at which the node is back up."""
+        return self.at + self.restart_after
+
+
+@dataclass
+class FailurePlan:
+    """An ordered collection of failure events for one run."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def crash_workstation(self, node: str, at: float,
+                          restart_after: float = 1.0) -> "FailurePlan":
+        """Add a workstation crash; returns self for chaining."""
+        self.events.append(FailureEvent(
+            FailureKind.WORKSTATION_CRASH, node, at, restart_after))
+        return self
+
+    def crash_server(self, node: str, at: float,
+                     restart_after: float = 1.0) -> "FailurePlan":
+        """Add a server crash; returns self for chaining."""
+        self.events.append(FailureEvent(
+            FailureKind.SERVER_CRASH, node, at, restart_after))
+        return self
+
+    def sorted_events(self) -> list[FailureEvent]:
+        """Events in injection order."""
+        return sorted(self.events, key=lambda e: e.at)
+
+    def __len__(self) -> int:
+        return len(self.events)

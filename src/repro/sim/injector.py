@@ -1,0 +1,70 @@
+"""Enacting failure plans against a simulated network.
+
+:class:`FailureInjector` turns a declarative
+:class:`~repro.sim.failures.FailurePlan` into scheduled crash/restart
+events on a :class:`~repro.net.network.Network`, so experiment drivers
+can script failures at precise simulated instants ("crash ws-2 in the
+middle of its second DOP").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.failures import FailureEvent, FailurePlan
+from repro.sim.scheduler import EventScheduler
+
+if TYPE_CHECKING:  # avoid the sim <-> net package-init cycle
+    from repro.net.network import Network
+
+
+@dataclass
+class InjectionLogEntry:
+    """Record of one enacted crash or restart."""
+
+    at: float
+    action: str        # 'crash' | 'restart'
+    node: str
+
+
+@dataclass
+class FailureInjector:
+    """Schedules a failure plan's events onto the network."""
+
+    network: "Network"
+    scheduler: EventScheduler
+    #: invoked after each restart, e.g. to run component recovery
+    on_restart: Callable[[str], None] | None = None
+    log: list[InjectionLogEntry] = field(default_factory=list)
+
+    def arm(self, plan: FailurePlan) -> int:
+        """Schedule every event of *plan*; returns #events armed."""
+        armed = 0
+        for event in plan.sorted_events():
+            self._arm_event(event)
+            armed += 1
+        return armed
+
+    def _arm_event(self, event: FailureEvent) -> None:
+        def crash() -> None:
+            self.network.crash_node(event.node)
+            self.log.append(InjectionLogEntry(
+                self.scheduler.clock.now, "crash", event.node))
+
+        def restart() -> None:
+            self.network.restart_node(event.node)
+            self.log.append(InjectionLogEntry(
+                self.scheduler.clock.now, "restart", event.node))
+            if self.on_restart is not None:
+                self.on_restart(event.node)
+
+        self.scheduler.at(event.at, crash,
+                          label=f"crash:{event.node}", priority=-1)
+        self.scheduler.at(event.restart_at, restart,
+                          label=f"restart:{event.node}", priority=-1)
+
+    def crashes_of(self, node: str) -> list[InjectionLogEntry]:
+        """The enacted crash entries of one node."""
+        return [e for e in self.log
+                if e.node == node and e.action == "crash"]

@@ -1,0 +1,108 @@
+"""Discrete-event scheduler.
+
+The workload experiments (T1, T2, T6) simulate a *team* of designers
+working concurrently: each designer is a sequence of timed steps (start
+a DOP, run a tool for two hours, check in, negotiate, ...).  The
+scheduler interleaves those step streams in global timestamp order, so
+concurrency effects (lock conflicts, pre-release visibility, crash
+windows) play out deterministically.
+
+Events are callbacks ordered by ``(time, priority, seq)``; ties resolve
+by insertion order, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventScheduler:
+    """Priority-queue discrete-event loop driving a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = 0
+        self._executed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def at(self, time: float, action: Callable[[], Any],
+           label: str = "", priority: int = 0) -> _ScheduledEvent:
+        """Schedule *action* at absolute simulated *time*."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {time} before now={self.clock.now}")
+        self._seq += 1
+        event = _ScheduledEvent(time, priority, self._seq, action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, action: Callable[[], Any],
+              label: str = "", priority: int = 0) -> _ScheduledEvent:
+        """Schedule *action* *delay* time units from now."""
+        return self.at(self.clock.now + delay, action, label, priority)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a pending event (lazy removal)."""
+        event.cancelled = True
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def executed(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._executed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> int:
+        """Run events until exhaustion, *until* time, or *max_events*.
+
+        Returns the number of events executed by this call.
+        """
+        ran = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                break
+            if max_events is not None and ran >= max_events:
+                break
+            self.step()
+            ran += 1
+        if until is not None:
+            self.clock.advance_to(until)
+        return ran

@@ -1,0 +1,40 @@
+"""Tool Execution level: long ACID transactions (DOPs), locks, recovery.
+
+Provides the TE-level concepts of the paper's Sect.4.3 and Sect.5.2:
+design operations with checkout/checkin, save/restore, suspend/resume,
+automatic recovery points, and the client-TM / server-TM pair with
+two-phase commit for their critical interactions.
+"""
+
+from repro.te.context import DopContext, SavepointStack
+from repro.te.dop import DesignOperation, DopState
+from repro.te.locks import Lock, LockManager, LockMode, LockStats
+from repro.te.recovery import (
+    RecoveryManager,
+    RecoveryPoint,
+    RecoveryPointPolicy,
+)
+from repro.te.transaction_manager import (
+    CheckinResult,
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+
+__all__ = [
+    "CheckinResult",
+    "ClientTM",
+    "DesignOperation",
+    "DopContext",
+    "DopState",
+    "Lock",
+    "LockManager",
+    "LockMode",
+    "LockStats",
+    "RecoveryManager",
+    "RecoveryPoint",
+    "RecoveryPointPolicy",
+    "SavepointStack",
+    "ServerTM",
+    "register_server_endpoints",
+]

@@ -1,0 +1,488 @@
+"""The transaction manager (TM): client-TM and server-TM.
+
+Sect.5.1/5.2: the TM "is split into two subcomponents.  The server-TM
+handles checkout/checkin and controls concurrent access to DOVs, thus
+residing on the server, whereas the client-TM resides on the
+workstation managing the internal structure of DOPs."  Their critical
+interactions (checkin) run under two-phase commit.
+
+* :class:`ServerTM` — scope-checked checkout with derivation locking,
+  two-phase checkin against the repository (it is the 2PC
+  *participant*), derivation-lock release on End-of-DOP, WAL-backed
+  durability (delegated to the repository).
+* :class:`ClientTM` — Begin/End-of-DOP, checkout (with the mandatory
+  post-checkout recovery point), tool-work application with periodic
+  recovery points, Save/Restore, Suspend/Resume, checkin as 2PC
+  *coordinator*, and workstation-crash recovery from the most recent
+  recovery point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.net.two_phase_commit import (
+    CommitOutcome,
+    CommitProtocol,
+    TwoPhaseCoordinator,
+    Vote,
+)
+from repro.repository.repository import DesignDataRepository
+from repro.repository.versions import DesignObjectVersion
+from repro.sim.clock import SimClock
+from repro.te.context import DopContext, SavepointStack
+from repro.te.dop import DesignOperation, DopState
+from repro.te.locks import LockManager, LockMode
+from repro.te.recovery import RecoveryManager, RecoveryPointPolicy
+from repro.util.errors import (
+    IntegrityError,
+    LockConflictError,
+    RecoveryError,
+    ScopeViolationError,
+    TransactionError,
+)
+from repro.util.ids import IdGenerator
+from repro.util.trace import EventTrace, Level
+
+
+@dataclass
+class CheckinResult:
+    """Outcome of a checkin reported to the DM (Sect.5.2/5.3)."""
+
+    success: bool
+    dov: DesignObjectVersion | None = None
+    reason: str = ""
+    outcome: CommitOutcome | None = None
+
+
+class ServerTM:
+    """Server-side transaction manager: shared access to the repository."""
+
+    def __init__(self, repository: DesignDataRepository,
+                 locks: LockManager, network: Network,
+                 node_id: str = "server",
+                 trace: EventTrace | None = None,
+                 clock: SimClock | None = None) -> None:
+        self.repository = repository
+        self.locks = locks
+        self.network = network
+        self.node_id = node_id
+        self.trace = trace if trace is not None else EventTrace(enabled=False)
+        self.clock = clock or SimClock()
+        #: callback(da_id, dov_id) -> bool installed by the CM; the default
+        #: admits only the DA's own derivation graph (Sect.4.1's rule that
+        #: "without further authorization a DA is only allowed to read
+        #: DOVs of its own derivation graph").
+        self.scope_check: Callable[[str, str], bool] = self._default_scope
+        #: staged checkins per 2PC transaction id
+        self._staged: dict[str, str] = {}
+
+    def _default_scope(self, da_id: str, dov_id: str) -> bool:
+        if not self.repository.has_graph(da_id):
+            return False
+        return dov_id in self.repository.graph(da_id)
+
+    def _record(self, operation: str, subject: str, **detail: Any) -> None:
+        self.trace.record(self.clock.now, Level.TE, f"server-TM",
+                          operation, subject, **detail)
+
+    # -- checkout ---------------------------------------------------------------
+
+    def checkout(self, da_id: str, dop_id: str, dov_id: str,
+                 derivation_lock: bool = False) -> DesignObjectVersion:
+        """Scope-checked read of a DOV with optional derivation lock.
+
+        Implements Sect.5.2's checkout: "it has to be tested that,
+        firstly, the DOV belongs to the scope of the DOP's DA, and,
+        secondly, there is no incompatible derivation lock on the DOV."
+        The critical section itself is protected by a short read lock.
+        """
+        self.network.node(self.node_id).require_up()
+        if not self.scope_check(da_id, dov_id):
+            self._record("checkout_denied", dov_id, da=da_id,
+                         reason="scope")
+            raise ScopeViolationError(
+                f"DOV {dov_id!r} is not in the scope of DA {da_id!r}")
+        holders = self.locks.holders(dov_id, LockMode.DERIVATION)
+        foreign = [h for h in holders if h.holder != da_id]
+        if foreign:
+            raise LockConflictError(
+                f"DOV {dov_id!r} derivation-locked by {foreign[0].holder!r}",
+                holder=foreign[0].holder)
+        self.locks.acquire(dov_id, dop_id, LockMode.SHORT_READ)
+        try:
+            dov = self.repository.read(dov_id)
+            if derivation_lock:
+                self.locks.acquire(dov_id, da_id, LockMode.DERIVATION)
+        finally:
+            self.locks.release(dov_id, dop_id, LockMode.SHORT_READ)
+        self._record("checkout", dov_id, da=da_id, dop=dop_id,
+                     derivation_lock=derivation_lock)
+        return dov
+
+    # -- checkin (2PC participant interface) --------------------------------------
+
+    def prepare(self, txn_id: str) -> Vote:
+        """Phase 1 of checkin: validate + stage the new DOV.
+
+        The checkin request payload is stashed under *txn_id* by
+        :meth:`request_checkin` before the coordinator starts 2PC.
+        """
+        node = self.network.node(self.node_id)
+        node.require_up()
+        request = node.volatile.get(f"checkin-req:{txn_id}")
+        if request is None:
+            return Vote.NO
+        da_id = request["da_id"]
+        try:
+            self.locks.acquire(request["graph_lock"], txn_id,
+                               LockMode.SHORT_WRITE)
+            try:
+                dov = self.repository.stage_checkin(
+                    da_id=da_id,
+                    dot_name=request["dot_name"],
+                    data=request["data"],
+                    parents=tuple(request["parents"]),
+                    created_at=self.clock.now,
+                )
+            finally:
+                self.locks.release(request["graph_lock"], txn_id,
+                                   LockMode.SHORT_WRITE)
+        except (IntegrityError, Exception) as exc:
+            node.volatile[f"checkin-err:{txn_id}"] = str(exc)
+            self._record("checkin_prepare_failed", da_id, error=str(exc))
+            return Vote.NO
+        self._staged[txn_id] = dov.dov_id
+        node.volatile[f"checkin-dov:{txn_id}"] = dov.dov_id
+        self._record("checkin_prepared", dov.dov_id, da=da_id)
+        return Vote.YES
+
+    def commit(self, txn_id: str) -> None:
+        """Phase 2 commit: the staged DOV becomes durable."""
+        dov_id = self._staged.pop(txn_id, None)
+        if dov_id is None:
+            raise TransactionError(f"nothing staged for txn {txn_id!r}")
+        dov = self.repository.commit_checkin(dov_id)
+        self._record("checkin_committed", dov.dov_id, da=dov.created_by)
+
+    def abort(self, txn_id: str) -> None:
+        """Phase 2 abort: the staged DOV is discarded."""
+        dov_id = self._staged.pop(txn_id, None)
+        if dov_id is not None:
+            self.repository.abort_checkin(dov_id)
+            self._record("checkin_aborted", dov_id)
+
+    def request_checkin(self, txn_id: str, da_id: str, dot_name: str,
+                        data: dict[str, Any], parents: list[str]) -> None:
+        """Stash a checkin request before the coordinator runs 2PC.
+
+        The modification of a DA's derivation graph during checkin is
+        protected by a short (write) lock on the graph resource
+        (Sect.5.2: "the TM has to protect the proliferation of the DA's
+        derivation graph ... employing a locking protocol based on
+        short locks").
+        """
+        node = self.network.node(self.node_id)
+        node.require_up()
+        node.volatile[f"checkin-req:{txn_id}"] = {
+            "da_id": da_id,
+            "dot_name": dot_name,
+            "data": data,
+            "parents": parents,
+            "graph_lock": f"graph:{da_id}",
+        }
+
+    def checkin_error(self, txn_id: str) -> str | None:
+        """Why the prepare for *txn_id* voted NO (integrity message)."""
+        node = self.network.node(self.node_id)
+        return node.volatile.get(f"checkin-err:{txn_id}")
+
+    def staged_dov(self, txn_id: str) -> str | None:
+        """Id assigned to the staged DOV of *txn_id*, if prepare succeeded."""
+        node = self.network.node(self.node_id)
+        return node.volatile.get(f"checkin-dov:{txn_id}")
+
+    # -- End-of-DOP support ---------------------------------------------------------
+
+    def release_derivation_locks(self, da_id: str,
+                                 dov_ids: list[str] | None = None) -> int:
+        """Release derivation locks at End-of-DOP (commit *and* abort).
+
+        "the server-TM is firstly asked to release the derivation locks
+        held (if any)" (Sect.5.2).
+        """
+        if dov_ids is None:
+            released = self.locks.release_all(da_id, LockMode.DERIVATION)
+        else:
+            released = 0
+            for dov_id in dov_ids:
+                released += self.locks.release(dov_id, da_id,
+                                               LockMode.DERIVATION)
+        if released:
+            self._record("derivation_locks_released", da_id, count=released)
+        return released
+
+
+class ClientTM:
+    """Workstation-side transaction manager for one workstation.
+
+    Manages the internal structure of the DOPs running on its machine:
+    contexts, savepoints, recovery points, suspend/resume, and the
+    coordinator role in the checkin 2PC.
+    """
+
+    def __init__(self, workstation: str, server_tm: ServerTM,
+                 rpc: TransactionalRpc, clock: SimClock,
+                 ids: IdGenerator | None = None,
+                 policy: RecoveryPointPolicy | None = None,
+                 trace: EventTrace | None = None,
+                 protocol: CommitProtocol = CommitProtocol.PRESUMED_ABORT
+                 ) -> None:
+        self.workstation = workstation
+        self.server_tm = server_tm
+        self.rpc = rpc
+        self.clock = clock
+        self.ids = ids or IdGenerator()
+        self.trace = trace if trace is not None else EventTrace(enabled=False)
+        node = rpc.network.node(workstation)
+        self.node = node
+        self.recovery = RecoveryManager(node.stable, policy)
+        self.coordinator = TwoPhaseCoordinator(
+            rpc.network, workstation, protocol=protocol)
+        #: volatile table of running DOPs — lost on workstation crash
+        self._active: dict[str, DesignOperation] = {}
+        #: callback fired with (dop, CheckinResult) on End-of-DOP; the DM
+        #: installs itself here ("gives the appropriate message ... to
+        #: its DM", Sect.5.2)
+        self.on_dop_finished: Callable[[DesignOperation, CheckinResult],
+                                       None] | None = None
+        node.on_crash.append(self._on_crash)
+
+    # -- infrastructure -----------------------------------------------------------
+
+    def _record(self, operation: str, subject: str, **detail: Any) -> None:
+        self.trace.record(self.clock.now, Level.TE,
+                          f"client-TM:{self.workstation}",
+                          operation, subject, **detail)
+
+    def _on_crash(self) -> None:
+        # volatile DOP table vanishes with the workstation
+        self._active.clear()
+
+    def active_dops(self) -> list[DesignOperation]:
+        """The DOPs currently running on this workstation."""
+        return list(self._active.values())
+
+    def get_dop(self, dop_id: str) -> DesignOperation:
+        """Look up a running DOP."""
+        try:
+            return self._active[dop_id]
+        except KeyError:
+            raise TransactionError(
+                f"DOP {dop_id!r} is not active on {self.workstation!r} "
+                f"(crashed or finished?)") from None
+
+    def _take_recovery_point(self, dop: DesignOperation,
+                             reason: str) -> None:
+        self.recovery.take(dop.dop_id, dop.context, dop.savepoints,
+                           self.clock.now, reason)
+        dop.work_since_recovery_point = 0.0
+        self._record("recovery_point", dop.dop_id, reason=reason)
+
+    # -- Begin-of-DOP -----------------------------------------------------------------
+
+    def begin_dop(self, da_id: str, tool: str,
+                  start_params: dict[str, Any] | None = None
+                  ) -> DesignOperation:
+        """Begin-of-DOP: create and activate a new design operation."""
+        self.node.require_up()
+        dop = DesignOperation(
+            dop_id=self.ids.next("dop"),
+            da_id=da_id,
+            workstation=self.workstation,
+            tool=tool,
+            start_params=dict(start_params or {}),
+            started_at=self.clock.now,
+        )
+        dop.require("activate")
+        dop.transition(DopState.ACTIVE)
+        self._active[dop.dop_id] = dop
+        self._record("begin_dop", dop.dop_id, da=da_id, tool=tool)
+        return dop
+
+    # -- checkout -----------------------------------------------------------------------
+
+    def checkout(self, dop: DesignOperation, dov_id: str,
+                 derivation_lock: bool = False) -> DesignObjectVersion:
+        """Check out an input DOV into the DOP's context.
+
+        The server performs scope + derivation-lock checks; afterwards
+        a recovery point is taken so a crash never repeats the request
+        (Sect.5.2).
+        """
+        dop.require("checkout")
+        result = self.rpc.call(
+            self.workstation, self.server_tm.node_id, "checkout",
+            dop.da_id, dop.dop_id, dov_id, derivation_lock)
+        dov: DesignObjectVersion = result.value
+        dop.input_dovs.append(dov_id)
+        dop.context.checked_out.append(dov_id)
+        dop.context.data.update(dov.copy_data())
+        self._record("checkout", dov_id, dop=dop.dop_id)
+        if self.recovery.policy.after_checkout:
+            self._take_recovery_point(dop, "checkout")
+        return dov
+
+    # -- tool processing ----------------------------------------------------------------
+
+    def work(self, dop: DesignOperation, effort: float,
+             mutate: Callable[[DopContext], None] | None = None) -> None:
+        """Apply *effort* simulated minutes of tool work to the context.
+
+        Advances the simulated clock, applies the tool's mutation, and
+        takes a periodic recovery point when the policy says one is due.
+        """
+        dop.require("work")
+        self.node.require_up()
+        self.clock.advance(effort)
+        if mutate is not None:
+            mutate(dop.context)
+        dop.context.work_done += effort
+        dop.work_since_recovery_point += effort
+        if self.recovery.policy.due(dop.work_since_recovery_point):
+            self._take_recovery_point(dop, "interval")
+
+    # -- savepoints -------------------------------------------------------------------------
+
+    def save(self, dop: DesignOperation, name: str) -> None:
+        """Designer-initiated Save (Sect.4.3)."""
+        dop.require("save")
+        dop.savepoints.save(name, dop.context)
+        # savepoints are implemented with the recovery-point mechanism
+        self._take_recovery_point(dop, f"savepoint:{name}")
+        self._record("save", dop.dop_id, savepoint=name)
+
+    def restore(self, dop: DesignOperation, name: str | None = None) -> None:
+        """Designer-initiated Restore: roll back to a marked state."""
+        dop.require("restore")
+        dop.context = dop.savepoints.restore(name)
+        self._record("restore", dop.dop_id, savepoint=name or "<latest>")
+
+    # -- suspend / resume ----------------------------------------------------------------------
+
+    def suspend(self, dop: DesignOperation) -> None:
+        """Suspend the DOP; its context is made persistent."""
+        dop.require("suspend")
+        self._take_recovery_point(dop, "suspend")
+        dop.transition(DopState.SUSPENDED)
+        self._record("suspend", dop.dop_id)
+
+    def resume(self, dop: DesignOperation) -> None:
+        """Resume a suspended DOP; state equals the suspend-time state."""
+        dop.require("resume")
+        context, savepoints, _ = self.recovery.restore(dop.dop_id)
+        dop.context = context
+        dop.savepoints = savepoints
+        dop.transition(DopState.ACTIVE)
+        self._record("resume", dop.dop_id)
+
+    # -- checkin -----------------------------------------------------------------------------------
+
+    def checkin(self, dop: DesignOperation, dot_name: str,
+                data: dict[str, Any] | None = None,
+                parents: list[str] | None = None) -> CheckinResult:
+        """Check in the derived DOV under two-phase commit.
+
+        On success the new DOV id is recorded on the DOP.  On an
+        integrity violation the result carries the server's reason —
+        the 'checkin failure' situation the client-TM "has to indicate
+        ... to the DM" (Sect.5.2).
+        """
+        dop.require("checkin")
+        payload = data if data is not None else dict(dop.context.data)
+        lineage = parents if parents is not None else list(dop.input_dovs)
+        txn_id = self.ids.next(f"txn-{self.workstation}")
+        self.rpc.call(self.workstation, self.server_tm.node_id,
+                      "request_checkin", txn_id, dop.da_id, dot_name,
+                      payload, lineage)
+        outcome = self.coordinator.execute(txn_id, [self.server_tm])
+        if outcome.committed:
+            dov_id = self.server_tm.staged_dov(txn_id)
+            dov = self.server_tm.repository.read(dov_id)
+            dop.output_dov = dov.dov_id
+            self._record("checkin", dov.dov_id, dop=dop.dop_id)
+            return CheckinResult(True, dov=dov, outcome=outcome)
+        reason = self.server_tm.checkin_error(txn_id) or "2PC abort"
+        self._record("checkin_failed", dop.dop_id, reason=reason)
+        return CheckinResult(False, reason=reason, outcome=outcome)
+
+    # -- End-of-DOP ------------------------------------------------------------------------------------
+
+    def _finish(self, dop: DesignOperation, state: DopState,
+                result: CheckinResult) -> None:
+        # release derivation locks first, then drop savepoints and the
+        # recovery point, then message the DM — the Sect.5.2 order.
+        self.rpc.call(self.workstation, self.server_tm.node_id,
+                      "release_derivation_locks", dop.da_id,
+                      list(dop.input_dovs))
+        dop.savepoints.clear()
+        self.recovery.remove(dop.dop_id)
+        dop.transition(state)
+        dop.finished_at = self.clock.now
+        self._active.pop(dop.dop_id, None)
+        self._record("end_dop", dop.dop_id, state=state.value)
+        if self.on_dop_finished is not None:
+            self.on_dop_finished(dop, result)
+
+    def commit_dop(self, dop: DesignOperation,
+                   result: CheckinResult | None = None) -> None:
+        """End-of-DOP (commit): close processing after a final state."""
+        dop.require("commit")
+        self._finish(dop, DopState.COMMITTED,
+                     result or CheckinResult(True, dov=None))
+
+    def abort_dop(self, dop: DesignOperation, reason: str = "") -> None:
+        """End-of-DOP (abort): the DOP "will abort its activities"."""
+        dop.require("abort")
+        self._finish(dop, DopState.ABORTED, CheckinResult(False,
+                                                          reason=reason))
+
+    # -- workstation-crash recovery -----------------------------------------------------------------------
+
+    def recover_dop(self, dop_id: str, da_id: str, tool: str
+                    ) -> tuple[DesignOperation, float]:
+        """Rebuild a crashed DOP from its most recent recovery point.
+
+        Returns the re-activated DOP and the simulated time the recovery
+        point was taken at (the caller knows the crash time and derives
+        the lost work as ``context.work_done`` deltas).  Raises
+        :class:`RecoveryError` when no point exists — then the DOP is
+        lost entirely and must restart from its beginning.
+        """
+        self.node.require_up()
+        context, savepoints, point = self.recovery.restore(dop_id)
+        dop = DesignOperation(
+            dop_id=dop_id, da_id=da_id, workstation=self.workstation,
+            tool=tool, started_at=point.taken_at,
+        )
+        dop.transition(DopState.ACTIVE)
+        dop.context = context
+        dop.savepoints = savepoints
+        dop.input_dovs = list(context.checked_out)
+        self._active[dop_id] = dop
+        self._record("recover_dop", dop_id, from_point=point.reason,
+                     taken_at=point.taken_at)
+        return dop, point.taken_at
+
+
+def register_server_endpoints(rpc: TransactionalRpc,
+                              server_tm: ServerTM) -> None:
+    """Expose the server-TM operations as transactional RPC endpoints."""
+    rpc.register(server_tm.node_id, "checkout", server_tm.checkout)
+    rpc.register(server_tm.node_id, "request_checkin",
+                 server_tm.request_checkin)
+    rpc.register(server_tm.node_id, "release_derivation_locks",
+                 server_tm.release_derivation_locks)

@@ -1,0 +1,256 @@
+"""The chip planner toolbox (tool 5 of Fig.2).
+
+"the chip planner is a tool box containing several tools:
+bipartitioning, sizing, dimensioning, and global routing. ... the
+designer may perform re-iterations of parts of the internal tool
+executions in order to achieve optimal space exploitation.  As a
+result, the chip planner arranges the subcells of the CUD."
+
+Implemented tools:
+
+* :func:`bipartition` — balanced min-cut partitioning of the subcells
+  (greedy seed + Kernighan–Lin-style improvement passes);
+* **sizing** — per-partition shape selection via recursive slicing,
+  driven by the subcells' shape functions;
+* **dimensioning** — fitting the slicing result into the CUD's
+  interface bounds;
+* :func:`global_route` — half-perimeter wirelength estimation over the
+  placed subcells;
+* :class:`ChipPlanner` — the toolbox driver with designer
+  re-iterations (it retries with different partition seeds and keeps
+  the best arrangement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import SeededRng
+from repro.vlsi.floorplan import Floorplan, FloorplanInterface, Placement
+from repro.vlsi.netlist import NetList
+from repro.vlsi.shapes import Shape, ShapeFunction
+
+
+# ---------------------------------------------------------------------------
+# bipartitioning
+# ---------------------------------------------------------------------------
+
+def bipartition(netlist: NetList, areas: dict[str, float],
+                rng: SeededRng | None = None,
+                passes: int = 4) -> tuple[set[str], set[str]]:
+    """Balanced min-cut bipartition of the netlist's cells.
+
+    Greedy area-balanced seed, then KL-style single-move improvement:
+    repeatedly move the cell with the best cut-gain whose move keeps
+    the areas within a 60/40 balance, until no improving move exists.
+    """
+    cells = list(netlist.cells)
+    if len(cells) < 2:
+        return set(cells), set()
+    if rng is not None:
+        rng.shuffle(cells)
+    else:
+        cells.sort(key=lambda c: -areas.get(c, 1.0))
+
+    total = sum(areas.get(c, 1.0) for c in cells)
+    part_a: set[str] = set()
+    part_b: set[str] = set()
+    area_a = area_b = 0.0
+    for cell in cells:
+        if area_a <= area_b:
+            part_a.add(cell)
+            area_a += areas.get(cell, 1.0)
+        else:
+            part_b.add(cell)
+            area_b += areas.get(cell, 1.0)
+
+    def balanced_after(cell: str, src: set[str]) -> bool:
+        moved = areas.get(cell, 1.0)
+        if src is part_a:
+            new_a, new_b = area_a - moved, area_b + moved
+        else:
+            new_a, new_b = area_a + moved, area_b - moved
+        if total <= 0:
+            return True
+        share = new_a / total
+        return 0.4 <= share <= 0.6 or min(len(part_a), len(part_b)) <= 1
+
+    for _ in range(passes):
+        best_gain = 0
+        best_move: tuple[str, set[str], set[str]] | None = None
+        current_cut = netlist.cut_size(part_a, part_b)
+        for cell in cells:
+            src, dst = (part_a, part_b) if cell in part_a \
+                else (part_b, part_a)
+            if len(src) <= 1 or not balanced_after(cell, src):
+                continue
+            src.remove(cell)
+            dst.add(cell)
+            gain = current_cut - netlist.cut_size(part_a, part_b)
+            dst.remove(cell)
+            src.add(cell)
+            if gain > best_gain:
+                best_gain, best_move = gain, (cell, src, dst)
+        if best_move is None:
+            break
+        cell, src, dst = best_move
+        src.remove(cell)
+        dst.add(cell)
+        moved = areas.get(cell, 1.0)
+        if src is part_a:
+            area_a -= moved
+            area_b += moved
+        else:
+            area_a += moved
+            area_b -= moved
+    return part_a, part_b
+
+
+# ---------------------------------------------------------------------------
+# sizing + dimensioning (recursive slicing placement)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Slice:
+    """Result of recursively placing a cell set: dims + placements."""
+
+    width: float
+    height: float
+    placements: list[Placement]
+
+
+def _place_cells(cells: list[str], netlist: NetList,
+                 shape_fns: dict[str, ShapeFunction],
+                 areas: dict[str, float],
+                 rng: SeededRng | None, horizontal: bool) -> _Slice:
+    """Recursive slicing: partition, place halves, compose."""
+    if len(cells) == 1:
+        cell = cells[0]
+        shape = _pick_shape(shape_fns.get(cell), areas.get(cell, 1.0),
+                            prefer_wide=horizontal)
+        return _Slice(shape.width, shape.height,
+                      [Placement(cell, 0.0, 0.0, shape.width,
+                                 shape.height)])
+    sub_nets = _restrict(netlist, set(cells))
+    part_a, part_b = bipartition(sub_nets, areas, rng)
+    if not part_a or not part_b:
+        half = max(1, len(cells) // 2)
+        part_a, part_b = set(cells[:half]), set(cells[half:])
+    left = _place_cells(sorted(part_a), netlist, shape_fns, areas, rng,
+                        not horizontal)
+    right = _place_cells(sorted(part_b), netlist, shape_fns, areas, rng,
+                         not horizontal)
+    if horizontal:   # halves side by side
+        placements = list(left.placements)
+        placements += [Placement(p.cell, p.x + left.width, p.y, p.width,
+                                 p.height) for p in right.placements]
+        return _Slice(left.width + right.width,
+                      max(left.height, right.height), placements)
+    placements = list(left.placements)
+    placements += [Placement(p.cell, p.x, p.y + left.height, p.width,
+                             p.height) for p in right.placements]
+    return _Slice(max(left.width, right.width),
+                  left.height + right.height, placements)
+
+
+def _pick_shape(shape_fn: ShapeFunction | None, area: float,
+                prefer_wide: bool) -> Shape:
+    if shape_fn is None:
+        side = max(area, 1e-9) ** 0.5
+        return Shape(round(side, 3), round(side, 3))
+    shapes = shape_fn.shapes
+    if prefer_wide:
+        return max(shapes, key=lambda s: s.aspect)
+    return min(shapes, key=lambda s: s.aspect)
+
+
+def _restrict(netlist: NetList, keep: set[str]) -> NetList:
+    nets = []
+    for net in netlist.nets:
+        members = tuple(c for c in net.cells if c in keep)
+        if len(members) >= 2:
+            nets.append(type(net)(net.name, members))
+    return NetList(cells=[c for c in netlist.cells if c in keep],
+                   nets=nets)
+
+
+# ---------------------------------------------------------------------------
+# global routing (wirelength estimation)
+# ---------------------------------------------------------------------------
+
+def global_route(floorplan: Floorplan, netlist: NetList) -> float:
+    """Half-perimeter wirelength over the placed subcells.
+
+    The classic chip-planning estimate: for each net, the half
+    perimeter of the bounding box of its pins (subcell centres).
+    """
+    total = 0.0
+    for net in netlist.nets:
+        points = [floorplan.placements[c].center for c in net.cells
+                  if c in floorplan.placements]
+        if len(points) < 2:
+            continue
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return round(total, 3)
+
+
+# ---------------------------------------------------------------------------
+# the toolbox driver
+# ---------------------------------------------------------------------------
+
+class ChipPlanner:
+    """Tool 5: plan a CUD's floorplan within its interface bounds.
+
+    ``iterations`` models the designer's re-iterations: each iteration
+    replans with a different partition seed; the best arrangement
+    (smallest wirelength among fitting plans, else smallest area
+    overflow) wins.
+    """
+
+    def __init__(self, iterations: int = 3, seed: int = 0) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+        self.seed = seed
+
+    def plan(self, cud: str, netlist: NetList,
+             shape_functions: dict[str, ShapeFunction],
+             interface: FloorplanInterface) -> Floorplan:
+        """Run bipartitioning / sizing / dimensioning / global routing."""
+        areas = {c: (shape_functions[c].min_area()
+                     if c in shape_functions else 1.0)
+                 for c in netlist.cells}
+        best: Floorplan | None = None
+        best_key: tuple[float, float] | None = None
+        for attempt in range(self.iterations):
+            rng = SeededRng(self.seed * 7919 + attempt)
+            sliced = _place_cells(sorted(netlist.cells), netlist,
+                                  shape_functions, areas, rng,
+                                  horizontal=True)
+            floorplan = Floorplan(
+                cud=cud, width=round(sliced.width, 3),
+                height=round(sliced.height, 3),
+                iterations=attempt + 1)
+            for placement in sliced.placements:
+                floorplan.placements[placement.cell] = placement
+            part_a = {p.cell for p in sliced.placements
+                      if p.x + p.width / 2 < sliced.width / 2}
+            part_b = set(netlist.cells) - part_a
+            floorplan.cut_nets = netlist.cut_size(part_a, part_b)
+            floorplan.wirelength = global_route(floorplan, netlist)
+            overflow = max(0.0, floorplan.width - interface.max_width) \
+                + max(0.0, floorplan.height - interface.max_height)
+            key = (overflow, floorplan.wirelength)
+            if best_key is None or key < best_key:
+                best, best_key = floorplan, key
+        assert best is not None
+        best.iterations = self.iterations
+        return best
+
+    def fits(self, floorplan: Floorplan,
+             interface: FloorplanInterface) -> bool:
+        """True when the plan respects the interface's shape bounds."""
+        return (floorplan.width <= interface.max_width + 1e-9
+                and floorplan.height <= interface.max_height + 1e-9)

@@ -1,0 +1,176 @@
+"""Floorplans and floorplan interfaces (Fig.3 inputs/outputs).
+
+"The most important input is the interface description of the CUD
+(cell under design), expressing non-functional requirements as, for
+example, the shape of the CUD and the positions of the pin intervals on
+the CUD's frame."  The chip planner's output is the *floorplan
+contents* — an arrangement of the subcells — plus one *floorplan
+interface* per subcell, which seeds the subcell's own planning at the
+next hierarchy level (the Fig.5 delegation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PinInterval:
+    """A pin interval on one edge of a cell frame."""
+
+    edge: str          # 'north' | 'south' | 'east' | 'west'
+    start: float       # offset along the edge
+    end: float
+    net: str = ""
+
+    def length(self) -> float:
+        """Extent of the interval along its edge."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class FloorplanInterface:
+    """Non-functional requirements for planning one cell.
+
+    ``max_width`` / ``max_height`` bound the cell's shape; ``origin``
+    places it in the parent's coordinate system; ``pins`` are the pin
+    intervals on the frame.
+    """
+
+    cell: str
+    max_width: float
+    max_height: float
+    origin: tuple[float, float] = (0.0, 0.0)
+    pins: tuple[PinInterval, ...] = ()
+
+    @property
+    def area_limit(self) -> float:
+        """Maximum area available to the cell."""
+        return self.max_width * self.max_height
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for DOV payloads."""
+        return {
+            "cell": self.cell,
+            "max_width": self.max_width,
+            "max_height": self.max_height,
+            "origin": list(self.origin),
+            "pins": [{"edge": p.edge, "start": p.start, "end": p.end,
+                      "net": p.net} for p in self.pins],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FloorplanInterface":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            cell=raw["cell"],
+            max_width=raw["max_width"],
+            max_height=raw["max_height"],
+            origin=tuple(raw.get("origin", (0.0, 0.0))),
+            pins=tuple(PinInterval(p["edge"], p["start"], p["end"],
+                                   p.get("net", ""))
+                       for p in raw.get("pins", ())),
+        )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One subcell placed inside its parent's floorplan."""
+
+    cell: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        """Occupied area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Geometric centre (used for wirelength estimation)."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def overlaps(self, other: "Placement") -> bool:
+        """True when two placements intersect with positive area."""
+        return not (self.x + self.width <= other.x
+                    or other.x + other.width <= self.x
+                    or self.y + self.height <= other.y
+                    or other.y + other.height <= self.y)
+
+
+@dataclass
+class Floorplan:
+    """The planned arrangement of a CUD's subcells."""
+
+    cud: str
+    width: float
+    height: float
+    placements: dict[str, Placement] = field(default_factory=dict)
+    cut_nets: int = 0
+    wirelength: float = 0.0
+    iterations: int = 1
+
+    @property
+    def area(self) -> float:
+        """Bounding area of the floorplan."""
+        return self.width * self.height
+
+    @property
+    def used_area(self) -> float:
+        """Sum of the placed subcell areas."""
+        return sum(p.area for p in self.placements.values())
+
+    @property
+    def utilisation(self) -> float:
+        """used_area / area (1.0 = no dead space)."""
+        return self.used_area / self.area if self.area else 0.0
+
+    def validate(self) -> list[str]:
+        """Geometric sanity: in-bounds, no overlaps.  Empty = valid."""
+        problems = []
+        eps = 1e-6
+        items = list(self.placements.values())
+        for placement in items:
+            if placement.x < -eps or placement.y < -eps \
+                    or placement.x + placement.width > self.width + eps \
+                    or placement.y + placement.height > self.height + eps:
+                problems.append(f"{placement.cell} out of bounds")
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                if a.overlaps(b):
+                    problems.append(f"{a.cell} overlaps {b.cell}")
+        return problems
+
+    def subcell_interfaces(self) -> list[FloorplanInterface]:
+        """One planning interface per placed subcell (Fig.3 output)."""
+        return [FloorplanInterface(p.cell, p.width, p.height,
+                                   origin=(p.x, p.y))
+                for p in self.placements.values()]
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for DOV payloads."""
+        return {
+            "cud": self.cud,
+            "width": self.width,
+            "height": self.height,
+            "cut_nets": self.cut_nets,
+            "wirelength": self.wirelength,
+            "iterations": self.iterations,
+            "placements": {
+                name: [p.x, p.y, p.width, p.height]
+                for name, p in self.placements.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Floorplan":
+        """Rebuild from :meth:`to_dict` output."""
+        plan = cls(raw["cud"], raw["width"], raw["height"],
+                   cut_nets=raw.get("cut_nets", 0),
+                   wirelength=raw.get("wirelength", 0.0),
+                   iterations=raw.get("iterations", 1))
+        for name, (x, y, w, h) in raw.get("placements", {}).items():
+            plan.placements[name] = Placement(name, x, y, w, h)
+        return plan

@@ -1,0 +1,135 @@
+"""Reusable designer policies (the modelled humans of Sect.5.1).
+
+"In general, a fully automatic processing is not possible.  Work flow
+often depends on creative design decisions which are to be taken
+during the design work" (Sect.5.3).  These policies stand in for the
+deciding designer at the DM's interaction points:
+
+* :class:`GoalDrivenPolicy` — iterates loops until the DA's goal (or a
+  custom predicate over the latest design state) is met; the policy
+  behind 'replan until the floorplan fits' and 'debug until clean';
+* :class:`SeededPolicy` — seeded random choices at every interaction
+  point (alternative paths, loop continuation, open-segment
+  insertions), for randomised robustness testing;
+* :class:`ScriptedPolicy` — a fixed decision tape, for exactly
+  reproducing one designer session (also what DM crash-recovery tests
+  replay).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dc.design_manager import DesignerPolicy
+from repro.dc.script import DopStep, EnabledAction
+from repro.util.rng import SeededRng
+
+
+class GoalDrivenPolicy(DesignerPolicy):
+    """Loop until the DA reached its goal (or a custom predicate).
+
+    ``system`` / ``da_id`` locate the DA; without a custom
+    ``satisfied`` predicate the policy exits loops once the DA has a
+    final DOV.  ``params_by_tool`` supplies per-tool start parameters
+    ("the designer has to specify input parameters for the design
+    tools").
+    """
+
+    def __init__(self, system: Any, da_id: str,
+                 satisfied: Callable[[dict[str, Any]], bool]
+                 | None = None,
+                 params_by_tool: dict[str, dict[str, Any]]
+                 | None = None) -> None:
+        self.system = system
+        self.da_id = da_id
+        self.satisfied = satisfied
+        self.params_by_tool = dict(params_by_tool or {})
+
+    def _latest_data(self) -> dict[str, Any]:
+        repository = self.system.repository
+        if not repository.has_graph(self.da_id):
+            return {}
+        leaves = repository.graph(self.da_id).leaves()
+        if not leaves:
+            return {}
+        newest = max(leaves, key=lambda d: (d.created_at, d.dov_id))
+        return newest.data
+
+    def loop_decision(self, action: EnabledAction) -> str:
+        if self.satisfied is not None:
+            done = self.satisfied(self._latest_data())
+        else:
+            done = bool(self.system.cm.da(self.da_id).final_dovs)
+        return "exit" if done else "again"
+
+    def dop_params(self, step: DopStep) -> dict[str, Any]:
+        params = dict(step.params)
+        params.update(self.params_by_tool.get(step.tool, {}))
+        return params
+
+
+class SeededPolicy(DesignerPolicy):
+    """Seeded random decisions at every designer interaction point."""
+
+    def __init__(self, seed: int = 0,
+                 insertable_tools: tuple[str, ...] = (),
+                 insert_probability: float = 0.3,
+                 again_probability: float = 0.4) -> None:
+        self.rng = SeededRng(seed)
+        self.insertable_tools = insertable_tools
+        self.insert_probability = insert_probability
+        self.again_probability = again_probability
+
+    def choose_enabled(self,
+                       actions: list[EnabledAction]) -> EnabledAction:
+        return actions[self.rng.randint(0, len(actions) - 1)]
+
+    def choose_alternative(self, action: EnabledAction) -> int:
+        return self.rng.randint(0, action.options - 1)
+
+    def loop_decision(self, action: EnabledAction) -> str:
+        return "again" if self.rng.bernoulli(self.again_probability) \
+            else "exit"
+
+    def open_decision(self, action: EnabledAction) -> Any:
+        if self.insertable_tools \
+                and self.rng.bernoulli(self.insert_probability):
+            return ("insert", self.rng.choice(self.insertable_tools))
+        return "close"
+
+
+class ScriptedPolicy(DesignerPolicy):
+    """A fixed tape of decisions, consumed in order.
+
+    Each entry addresses one interaction kind; when the tape for a
+    kind runs dry the base policy's neutral default applies.  Used to
+    replay one specific designer session deterministically.
+    """
+
+    def __init__(self,
+                 alternatives: list[int] | None = None,
+                 loops: list[str] | None = None,
+                 opens: list[Any] | None = None) -> None:
+        self._alternatives = list(alternatives or [])
+        self._loops = list(loops or [])
+        self._opens = list(opens or [])
+
+    def choose_alternative(self, action: EnabledAction) -> int:
+        if self._alternatives:
+            return self._alternatives.pop(0)
+        return super().choose_alternative(action)
+
+    def loop_decision(self, action: EnabledAction) -> str:
+        if self._loops:
+            return self._loops.pop(0)
+        return super().loop_decision(action)
+
+    def open_decision(self, action: EnabledAction) -> Any:
+        if self._opens:
+            return self._opens.pop(0)
+        return super().open_decision(action)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every tape has been fully consumed."""
+        return not (self._alternatives or self._loops or self._opens)

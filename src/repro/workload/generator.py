@@ -1,0 +1,164 @@
+"""Synthetic design-team workloads.
+
+The T1 experiment needs a workload with the structure the paper's
+chip-planning scenario exhibits (Fig.5): a team of designers, one per
+subcell, each running a sequence of long tool executions, where
+neighbouring designers exchange preliminary results (the shared
+borderline between cells A and B) and all touch shared design objects.
+
+:func:`team_workload` generates such a team deterministically from a
+seed: *n* sessions of *k* steps; each session (except the first)
+depends on a mid-session result of its predecessor, and neighbouring
+sessions share one written design object (lock-contention surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """Consumer step needs a producer step's output."""
+
+    producer: str        # producer session id
+    producer_step: int   # output of this step index ...
+    consumer_step: int   # ... is needed before this step starts
+
+
+@dataclass
+class SessionSpec:
+    """One designer's planned sequence of tool executions."""
+
+    session_id: str
+    step_durations: list[float]
+    #: design objects written by every step of this session
+    writes: list[str] = field(default_factory=list)
+    #: all mid-session inputs from other sessions (fan-in allowed)
+    dependencies: list[Dependency] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        pass
+
+    @property
+    def dependency(self) -> Dependency | None:
+        """The first dependency (legacy single-dependency accessor)."""
+        return self.dependencies[0] if self.dependencies else None
+
+    @property
+    def total_work(self) -> float:
+        """Sum of the step durations."""
+        return sum(self.step_durations)
+
+    def work_before_step(self, step: int) -> float:
+        """Work completed strictly before *step* begins."""
+        return sum(self.step_durations[:step])
+
+    def dependencies_at(self, step: int) -> list[Dependency]:
+        """Dependencies gating the start of *step*."""
+        return [d for d in self.dependencies if d.consumer_step == step]
+
+
+@dataclass
+class TeamWorkload:
+    """A complete team run: sessions plus shared-object topology."""
+
+    sessions: list[SessionSpec]
+    seed: int = 0
+
+    def session(self, session_id: str) -> SessionSpec:
+        """Look up a session by id."""
+        for session in self.sessions:
+            if session.session_id == session_id:
+                return session
+        raise KeyError(f"no session {session_id!r}")
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all sessions' planned work."""
+        return sum(s.total_work for s in self.sessions)
+
+
+def team_workload(team_size: int, steps_per_session: int = 4,
+                  mean_step: float = 60.0, seed: int = 0,
+                  share_objects: bool = True) -> TeamWorkload:
+    """Generate a seeded chip-planning-style team workload.
+
+    Session *i* (>0) consumes a preliminary result of session *i-1*
+    produced by its middle step — the Fig.5 pattern where planning a
+    subcell needs the neighbour's provisional borderline.  With
+    ``share_objects`` neighbouring sessions also *write* a shared
+    design object, exercising the models' write-concurrency policies.
+    """
+    if team_size < 1:
+        raise ValueError("team_size must be >= 1")
+    rng = SeededRng(seed)
+    sessions = []
+    for i in range(team_size):
+        durations = [
+            round(rng.bounded_normal(mean_step, mean_step / 3,
+                                     mean_step / 4, mean_step * 3), 1)
+            for _ in range(steps_per_session)]
+        writes = [f"cell-{i}"]
+        if share_objects and i > 0:
+            writes.append(f"border-{i - 1}-{i}")
+        if share_objects and i < team_size - 1:
+            writes.append(f"border-{i}-{i + 1}")
+        dependencies = []
+        if i > 0:
+            producer_step = max(0, steps_per_session // 2 - 1)
+            consumer_step = min(steps_per_session - 1,
+                                steps_per_session // 2)
+            dependencies.append(Dependency(f"designer-{i - 1}",
+                                           producer_step, consumer_step))
+        sessions.append(SessionSpec(
+            session_id=f"designer-{i}",
+            step_durations=durations,
+            writes=writes,
+            dependencies=dependencies,
+        ))
+    return TeamWorkload(sessions=sessions, seed=seed)
+
+
+def integration_workload(team_size: int, steps_per_session: int = 3,
+                         mean_step: float = 60.0, seed: int = 0,
+                         integration_steps: int = 2) -> TeamWorkload:
+    """A fan-in topology: independent designers plus one integrator.
+
+    ``team_size`` designers work independently (own objects, no mutual
+    dependencies); a final *integrator* session consumes a preliminary
+    result of **every** designer before its last step — the chip
+    assembly / system integration pattern.
+    """
+    if team_size < 1:
+        raise ValueError("team_size must be >= 1")
+    rng = SeededRng(seed)
+    sessions = []
+    for i in range(team_size):
+        durations = [
+            round(rng.bounded_normal(mean_step, mean_step / 3,
+                                     mean_step / 4, mean_step * 3), 1)
+            for _ in range(steps_per_session)]
+        sessions.append(SessionSpec(
+            session_id=f"designer-{i}",
+            step_durations=durations,
+            writes=[f"cell-{i}"],
+        ))
+    integrator_durations = [
+        round(rng.bounded_normal(mean_step, mean_step / 3,
+                                 mean_step / 4, mean_step * 3), 1)
+        for _ in range(integration_steps)]
+    dependencies = [
+        Dependency(f"designer-{i}",
+                   producer_step=max(0, steps_per_session - 2),
+                   consumer_step=integration_steps - 1)
+        for i in range(team_size)]
+    sessions.append(SessionSpec(
+        session_id="integrator",
+        step_durations=integrator_durations,
+        writes=["assembly"],
+        dependencies=dependencies,
+    ))
+    return TeamWorkload(sessions=sessions, seed=seed)

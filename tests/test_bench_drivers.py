@@ -1,0 +1,189 @@
+"""Integration tests: every figure/experiment driver runs and its
+result carries the paper's expected shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    negotiate_border,
+    run_t1,
+    run_t2,
+    run_t3,
+    run_t4,
+    run_t5,
+    run_t6,
+)
+from repro.bench.figures import (
+    run_f1,
+    run_f2,
+    run_f3,
+    run_f4,
+    run_f5,
+    run_f6,
+    run_f7,
+    run_f8,
+)
+
+
+class TestFigures:
+    def test_f1_levels_nested(self):
+        result = run_f1()
+        counts = result.data["counts"]
+        assert counts["AC"] > 0 and counts["DC"] > 0 and counts["TE"] > 0
+        # the TE level carries more operations than the DC level (every
+        # DOP wraps several TE operations) — the Fig.1 nesting
+        assert counts["TE"] > counts["DC"]
+
+    def test_f2_plane_shape(self):
+        result = run_f2()
+        tools = result.data["tool_order"]
+        assert tools[0] == "structure_synthesis"
+        assert tools[-1] == "chip_assembly"
+        # 4 hierarchy rows in the matrix
+        assert len(result.rows) == 4
+
+    def test_f3_floorplan_outputs(self):
+        result = run_f3()
+        floorplan = result.data["floorplan"]
+        assert floorplan.validate() == []
+        assert floorplan.placements
+        assert floorplan.subcell_interfaces()
+
+    def test_f4_hierarchy(self):
+        result = run_f4()
+        hierarchy = result.data["hierarchy"]
+        assert len(hierarchy["roots"]) == 1
+        root = hierarchy["roots"][0]
+        assert len(root["children"]) == 4      # A, B, C, D
+        assert result.data["delegations"] == 4
+
+    def test_f5_scenario_content(self):
+        result = run_f5()
+        report = result.data["report"]
+        assert report.impossible_from
+        assert len(report.modified_specs) == 2
+        assert all(state == "terminated"
+                   for da, state in report.final_states.items()
+                   if da != report.top_da)
+        assert sum(len(v) for v in report.inherited_dovs.values()) >= 4
+
+    def test_f6_scripts(self):
+        result = run_f6()
+        assert result.data["fig6a_executed"][0] == "structure_synthesis"
+        assert result.data["fig6a_executed"][-1] == "chip_assembly"
+        assert len(result.data["fig6b_sequences"]) == 3
+
+    def test_f7_state_machine_coverage(self):
+        result = run_f7()
+        table = result.data["table"]
+        assert result.data["legal"] == len(table)
+        total_pairs = 5 * 15  # states x operations
+        assert result.data["legal"] + result.data["illegal"] == total_pairs
+
+    def test_f8_recovery_outcomes(self):
+        result = run_f8()
+        before, after = result.data["dov_recovery"]
+        assert after == before            # all durable DOVs redone
+        das_before, das_after = result.data["da_recovery"]
+        assert das_after == das_before    # CM state reloaded
+        assert result.data["episodes"] == 3
+
+
+class TestExperiments:
+    def test_t1_shape(self):
+        result = run_t1(team_sizes=(3, 6), seed=7)
+        by_team = {}
+        for row in result.rows:
+            if row["topology"] != "chain":
+                continue
+            by_team.setdefault(row["team"], {})[row["model"]] = row
+        for team, models in by_team.items():
+            concord = models["concord"]["makespan"]
+            flat = models["flat_acid"]["makespan"]
+            contracts = models["contracts"]["makespan"]
+            assert concord < contracts < flat
+            # flat/nested serialise completely
+            assert flat == pytest.approx(models["flat_acid"]["total_work"])
+            assert models["nested"]["makespan"] == flat
+        # the absolute gap grows with team size
+        gap_small = by_team[3]["flat_acid"]["makespan"] \
+            - by_team[3]["concord"]["makespan"]
+        gap_large = by_team[6]["flat_acid"]["makespan"] \
+            - by_team[6]["concord"]["makespan"]
+        assert gap_large > gap_small
+        # the fan-in topology is present and concord wins there too
+        fan_in = [r for r in result.rows if r["topology"] == "fan-in"]
+        assert fan_in
+        for team in {r["team"] for r in fan_in}:
+            rows = {r["model"]: r for r in fan_in if r["team"] == team}
+            assert rows["concord"]["makespan"] <= \
+                rows["flat_acid"]["makespan"]
+
+    def test_t2_shape(self):
+        result = run_t2(crash_times=(25.0, 140.0))
+        rows = {(r["model"], r["crash_time"]): r["lost_work"]
+                for r in result.rows}
+        # flat grows linearly
+        assert rows[("flat_acid", 140.0)] > rows[("flat_acid", 25.0)]
+        assert rows[("flat_acid", 25.0)] == 25.0
+        # concord with the tighter interval never loses more than it
+        assert rows[("concord(rp=10)", 140.0)] < 10.0
+        assert rows[("concord(rp=10)", 25.0)] <= \
+            rows[("concord(rp=30)", 25.0)] + 10.0
+
+    def test_t3_shape(self):
+        result = run_t3()
+        rows = {(r["protocol"], r["case"]): r for r in result.rows}
+        basic_abort = rows[("basic", "one-no abort")]
+        pa_abort = rows[("presumed_abort", "one-no abort")]
+        assert pa_abort["messages"] < basic_abort["messages"]
+        assert pa_abort["forced_writes"] < basic_abort["forced_writes"]
+        ro = rows[("presumed_abort+ro", "read-only mix")]
+        plain = rows[("presumed_abort", "read-only mix")]
+        assert ro["messages"] < plain["messages"]
+        assert ro["forced_writes"] < plain["forced_writes"]
+
+    def test_t4_runs(self):
+        result = run_t4(operations=500, sharing_levels=(1, 4),
+                        depths=(2, 4))
+        measures = [r["measure"] for r in result.rows]
+        assert any("short-lock" in m for m in measures)
+        sharing_rows = [r for r in result.rows
+                        if "derivation conflicts" in r["measure"]]
+        assert sharing_rows[0]["value"] <= sharing_rows[-1]["value"]
+
+    def test_t5_shape(self):
+        result = run_t5(severities=(0.5, 0.9, 1.2))
+        rows = {r["severity"]: r for r in result.rows}
+        assert rows[0.5]["outcome"] == "agreed"
+        assert rows[0.9]["outcome"] == "agreed"
+        assert rows[0.5]["rounds"] < rows[0.9]["rounds"]
+        assert rows[1.2]["outcome"] == "escalated"
+        assert rows[1.2]["escalations"] == 1
+
+    def test_t6_log_growth_linear(self):
+        result = run_t6(hierarchy_sizes=(5, 10))
+        small, large = result.rows
+        assert large["protocol_log_records"] > \
+            small["protocol_log_records"]
+        assert large["delegations"] == 9
+        assert small["delegations"] == 4
+
+    def test_negotiate_border_feasible(self):
+        outcome = negotiate_border(100.0, 30.0, 30.0)
+        assert outcome["outcome"] == "agreed"
+        assert outcome["state_a"] == "active"
+
+    def test_negotiate_border_infeasible(self):
+        outcome = negotiate_border(100.0, 70.0, 70.0)
+        assert outcome["outcome"] == "escalated"
+
+
+class TestRendering:
+    def test_render_produces_table(self):
+        result = run_t3()
+        text = result.render()
+        assert "T3" in text
+        assert "protocol" in text
+        assert "note:" in text

@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+from __future__ import annotations
+
+from repro.__main__ import main
+
+
+def test_single_experiment(capsys):
+    assert main(["F7"]) == 0
+    out = capsys.readouterr().out
+    assert "F7" in out
+    assert "T1" not in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["Z9"]) == 2
+    assert "unknown" in capsys.readouterr().out
+
+
+def test_case_insensitive(capsys):
+    assert main(["f2"]) == 0
+    assert "F2" in capsys.readouterr().out
+
+
+def test_scorecard_flag(capsys):
+    assert main(["scorecard"]) == 0
+    out = capsys.readouterr().out
+    assert "SCORECARD" in out
+    assert "17/17" in out

@@ -1,0 +1,119 @@
+"""Unit tests for DesignActivity, description vectors, relationships."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activity import DescriptionVector, DesignActivity
+from repro.core.features import (
+    DesignSpecification,
+    QualityState,
+    RangeFeature,
+)
+from repro.core.relationships import (
+    Delegation,
+    Message,
+    Negotiation,
+    Proposal,
+    ProposalStatus,
+    Usage,
+)
+from repro.core.states import DaState
+from repro.dc.script import DopStep, Script, Sequence
+from repro.repository.schema import DesignObjectType
+from repro.util.errors import NegotiationError
+
+
+def make_da(da_id="da-1", parent=None):
+    vector = DescriptionVector(
+        dot=DesignObjectType("Cell"),
+        spec=DesignSpecification([RangeFeature("f", "x", hi=10.0)]),
+        designer="alice",
+        script=Script(Sequence(DopStep("t"))),
+    )
+    return DesignActivity(da_id, vector, "ws-1", parent=parent)
+
+
+class TestDesignActivity:
+    def test_description_vector_accessors(self):
+        da = make_da()
+        assert da.dot.name == "Cell"
+        assert da.designer == "alice"
+        assert len(da.spec) == 1
+        assert da.script.name == "script"
+        assert da.is_top_level
+
+    def test_sub_da_not_top_level(self):
+        assert not make_da(parent="da-0").is_top_level
+
+    def test_initial_state_generated(self):
+        assert make_da().state is DaState.GENERATED
+
+    def test_record_quality_tracks_finals(self):
+        da = make_da()
+        final = QualityState(frozenset({"f"}), frozenset({"f"}))
+        preliminary = QualityState(frozenset(), frozenset({"f"}))
+        da.record_quality("dov-1", preliminary)
+        da.record_quality("dov-2", final)
+        assert da.final_dovs == ["dov-2"]
+        assert da.has_final_dov()
+
+    def test_record_quality_idempotent_for_finals(self):
+        da = make_da()
+        final = QualityState(frozenset({"f"}), frozenset({"f"}))
+        da.record_quality("dov-1", final)
+        da.record_quality("dov-1", final)
+        assert da.final_dovs == ["dov-1"]
+
+    def test_revoke_finality(self):
+        da = make_da()
+        final = QualityState(frozenset({"f"}), frozenset({"f"}))
+        da.record_quality("dov-1", final)
+        da.revoke_finality("dov-1")
+        assert not da.has_final_dov()
+
+    def test_spec_setter(self):
+        da = make_da()
+        new_spec = DesignSpecification([RangeFeature("g", "y", hi=5.0)])
+        da.spec = new_spec
+        assert da.vector.spec is new_spec
+
+
+class TestRelationshipRecords:
+    def test_delegation_record(self):
+        delegation = Delegation("da-1", "da-2", created_at=3.0)
+        assert delegation.super_da == "da-1"
+        assert delegation.sub_da == "da-2"
+
+    def test_usage_key_and_bookkeeping(self):
+        usage = Usage("da-req", "da-sup", frozenset({"f"}))
+        assert usage.key() == ("da-req", "da-sup")
+        usage.delivered.append("dov-1")
+        usage.withdrawn.append("dov-0")
+        assert usage.delivered == ["dov-1"]
+
+    def test_negotiation_other(self):
+        negotiation = Negotiation("n-1", "da-a", "da-b")
+        assert negotiation.other("da-a") == "da-b"
+        assert negotiation.other("da-b") == "da-a"
+        with pytest.raises(NegotiationError):
+            negotiation.other("da-x")
+
+    def test_negotiation_open_proposal(self):
+        negotiation = Negotiation("n-1", "da-a", "da-b")
+        assert negotiation.open_proposal() is None
+        first = Proposal("p-1", "da-a", {})
+        negotiation.proposals.append(first)
+        assert negotiation.open_proposal() is first
+        first.status = ProposalStatus.REJECTED
+        assert negotiation.open_proposal() is None
+        second = Proposal("p-2", "da-b", {})
+        negotiation.proposals.append(second)
+        assert negotiation.open_proposal() is second
+        assert negotiation.rounds() == 2
+
+    def test_message_payload(self):
+        message = Message("require", "da-1", "da-2",
+                          {"features": ["f"]}, at=9.0)
+        assert message.kind == "require"
+        assert message.payload["features"] == ["f"]

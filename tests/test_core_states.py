@@ -1,0 +1,142 @@
+"""Unit tests for the Fig.7 DA state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import (
+    DaOperation,
+    DaState,
+    DaStateMachine,
+    ISSUED_BY_COOPERATING_DA,
+    legal_operations,
+    transition_table,
+)
+from repro.util.errors import IllegalTransitionError
+
+
+class TestLifecyclePaths:
+    def test_normal_commit_path(self):
+        machine = DaStateMachine("da-1")
+        assert machine.state is DaState.GENERATED
+        machine.apply(DaOperation.START)
+        assert machine.state is DaState.ACTIVE
+        machine.apply(DaOperation.SUB_DA_READY_TO_COMMIT)
+        assert machine.state is DaState.READY_FOR_TERMINATION
+        machine.apply(DaOperation.TERMINATE_SUB_DA)
+        assert machine.state is DaState.TERMINATED
+
+    def test_impossible_spec_path(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        machine.apply(DaOperation.SUB_DA_IMPOSSIBLE_SPEC)
+        assert machine.state is DaState.READY_FOR_TERMINATION
+        # the super may send the DA back to work with a modified spec
+        machine.apply(DaOperation.MODIFY_SUB_DA_SPEC)
+        assert machine.state is DaState.ACTIVE
+
+    def test_negotiation_path(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        machine.apply(DaOperation.PROPOSE)
+        assert machine.state is DaState.NEGOTIATING
+        machine.apply(DaOperation.DISAGREE)
+        assert machine.state is DaState.NEGOTIATING
+        machine.apply(DaOperation.AGREE)
+        assert machine.state is DaState.ACTIVE
+
+    def test_conflict_escalation_returns_to_active(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        machine.apply(DaOperation.PROPOSE)
+        machine.apply(DaOperation.SUB_DA_SPEC_CONFLICT)
+        assert machine.state is DaState.ACTIVE
+
+    def test_termination_from_active(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        machine.apply(DaOperation.TERMINATE_SUB_DA)
+        assert machine.state is DaState.TERMINATED
+
+
+class TestIllegalTransitions:
+    def test_start_twice(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        with pytest.raises(IllegalTransitionError):
+            machine.apply(DaOperation.START)
+
+    def test_agree_without_negotiation(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        with pytest.raises(IllegalTransitionError):
+            machine.apply(DaOperation.AGREE)
+
+    def test_nothing_after_termination(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        machine.apply(DaOperation.TERMINATE_SUB_DA)
+        for operation in DaOperation:
+            with pytest.raises(IllegalTransitionError):
+                machine.apply(operation)
+
+    def test_no_work_while_generated(self):
+        machine = DaStateMachine("da-1")
+        for operation in (DaOperation.PROPAGATE, DaOperation.EVALUATE,
+                          DaOperation.PROPOSE, DaOperation.REQUIRE):
+            with pytest.raises(IllegalTransitionError):
+                machine.apply(operation)
+
+    def test_error_carries_context(self):
+        machine = DaStateMachine("da-1")
+        with pytest.raises(IllegalTransitionError) as info:
+            machine.apply(DaOperation.AGREE)
+        assert info.value.state == "generated"
+        assert info.value.operation == "Agree"
+
+    def test_ready_for_termination_blocks_work(self):
+        """'it should not do any more work until the super-DA has
+        issued a corresponding request'."""
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        machine.apply(DaOperation.SUB_DA_READY_TO_COMMIT)
+        for operation in (DaOperation.EVALUATE, DaOperation.PROPOSE,
+                          DaOperation.CREATE_SUB_DA):
+            with pytest.raises(IllegalTransitionError):
+                machine.apply(operation)
+
+
+class TestTableProperties:
+    def test_all_table_entries_work(self):
+        for (state, operation), target in transition_table().items():
+            machine = DaStateMachine("probe")
+            machine.state = state
+            assert machine.apply(operation) is target
+
+    def test_legal_operations_matches_can(self):
+        for state in DaState:
+            allowed = set(legal_operations(state))
+            for operation in DaOperation:
+                machine = DaStateMachine("probe")
+                machine.state = state
+                assert machine.can(operation) == (operation in allowed)
+
+    def test_history_recorded(self):
+        machine = DaStateMachine("da-1")
+        machine.apply(DaOperation.START)
+        machine.apply(DaOperation.EVALUATE)
+        assert machine.history == [
+            (DaOperation.START, DaState.GENERATED, DaState.ACTIVE),
+            (DaOperation.EVALUATE, DaState.ACTIVE, DaState.ACTIVE),
+        ]
+
+    def test_cooperating_da_operations_marked(self):
+        # the Fig.7 asterisks
+        assert DaOperation.MODIFY_SUB_DA_SPEC in ISSUED_BY_COOPERATING_DA
+        assert DaOperation.TERMINATE_SUB_DA in ISSUED_BY_COOPERATING_DA
+        assert DaOperation.PROPOSE in ISSUED_BY_COOPERATING_DA
+        assert DaOperation.EVALUATE not in ISSUED_BY_COOPERATING_DA
+        assert DaOperation.PROPAGATE not in ISSUED_BY_COOPERATING_DA
+
+    def test_terminated_has_no_legal_operations(self):
+        assert legal_operations(DaState.TERMINATED) == []

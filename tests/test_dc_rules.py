@@ -1,0 +1,119 @@
+"""Unit tests for the ECA rule engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dc.rules import EcaRule, RuleEngine, require_propagate_rule
+from repro.util.errors import RuleError
+
+
+def rule(name="r1", event="Require", condition=lambda env: True,
+         action=lambda env: "done", **kwargs):
+    return EcaRule(name, event, condition, action, **kwargs)
+
+
+class TestRegistration:
+    def test_register_and_len(self):
+        engine = RuleEngine()
+        engine.register(rule())
+        assert len(engine) == 1
+
+    def test_duplicate_name_rejected(self):
+        engine = RuleEngine()
+        engine.register(rule())
+        with pytest.raises(RuleError):
+            engine.register(rule())
+
+    def test_remove(self):
+        engine = RuleEngine()
+        engine.register(rule())
+        assert engine.remove("r1") is True
+        assert engine.remove("r1") is False
+
+
+class TestDispatch:
+    def test_matching_rule_fires(self):
+        engine = RuleEngine()
+        engine.register(rule())
+        firings = engine.dispatch("Require", {})
+        assert len(firings) == 1
+        assert firings[0].result == "done"
+        assert firings[0].error == ""
+
+    def test_event_mismatch_no_fire(self):
+        engine = RuleEngine()
+        engine.register(rule(event="Propose"))
+        assert engine.dispatch("Require", {}) == []
+
+    def test_condition_false_no_fire(self):
+        engine = RuleEngine()
+        engine.register(rule(condition=lambda env: env.get("go", False)))
+        assert engine.dispatch("Require", {"go": False}) == []
+        assert len(engine.dispatch("Require", {"go": True})) == 1
+
+    def test_disabled_rule_skipped(self):
+        engine = RuleEngine()
+        sleeping = rule()
+        sleeping.enabled = False
+        engine.register(sleeping)
+        assert engine.dispatch("Require", {}) == []
+
+    def test_priority_order(self):
+        engine = RuleEngine()
+        order = []
+        engine.register(rule("late", action=lambda e: order.append("late"),
+                             priority=5))
+        engine.register(rule("early",
+                             action=lambda e: order.append("early"),
+                             priority=1))
+        engine.dispatch("Require", {})
+        assert order == ["early", "late"]
+
+    def test_failing_action_recorded_not_raised(self):
+        engine = RuleEngine()
+
+        def boom(env):
+            raise ValueError("bad")
+
+        engine.register(rule("boom", action=boom))
+        engine.register(rule("next"))
+        firings = engine.dispatch("Require", {})
+        assert len(firings) == 2
+        assert "ValueError" in firings[0].error
+        assert firings[1].result == "done"
+
+    def test_raising_condition_is_rule_error(self):
+        engine = RuleEngine()
+        engine.register(rule(condition=lambda env: 1 / 0))
+        with pytest.raises(RuleError):
+            engine.dispatch("Require", {})
+
+    def test_firings_accumulate(self):
+        engine = RuleEngine()
+        engine.register(rule())
+        engine.dispatch("Require", {})
+        engine.dispatch("Require", {})
+        assert len(engine.firings) == 2
+
+
+class TestRequirePropagateRule:
+    def test_paper_rule_fires_when_available(self):
+        propagated = []
+        paper_rule = require_propagate_rule(
+            find_qualifying=lambda env: env.get("available"),
+            propagate=lambda env, dov: propagated.append(dov))
+        engine = RuleEngine()
+        engine.register(paper_rule)
+        engine.dispatch("Require", {"available": "dov-7"})
+        assert propagated == ["dov-7"]
+
+    def test_paper_rule_silent_when_unavailable(self):
+        propagated = []
+        paper_rule = require_propagate_rule(
+            find_qualifying=lambda env: None,
+            propagate=lambda env, dov: propagated.append(dov))
+        engine = RuleEngine()
+        engine.register(paper_rule)
+        assert engine.dispatch("Require", {}) == []
+        assert propagated == []

@@ -1,0 +1,135 @@
+"""Unit tests for the simulated LAN: nodes, stable storage, transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network, NodeKind, StableStorage
+from repro.util.errors import NetworkError, NodeDownError
+
+
+class TestStableStorage:
+    def test_put_get_roundtrip(self):
+        storage = StableStorage()
+        storage.put("k", {"a": 1})
+        assert storage.get("k") == {"a": 1}
+
+    def test_values_are_isolated_copies(self):
+        storage = StableStorage()
+        value = {"a": [1]}
+        storage.put("k", value)
+        value["a"].append(2)
+        assert storage.get("k") == {"a": [1]}
+        read = storage.get("k")
+        read["a"].append(3)
+        assert storage.get("k") == {"a": [1]}
+
+    def test_get_default(self):
+        assert StableStorage().get("missing", 42) == 42
+
+    def test_delete(self):
+        storage = StableStorage()
+        storage.put("k", 1)
+        assert storage.delete("k") is True
+        assert storage.delete("k") is False
+
+    def test_keys_prefix(self):
+        storage = StableStorage()
+        storage.put("a:1", 1)
+        storage.put("a:2", 2)
+        storage.put("b:1", 3)
+        assert storage.keys("a:") == ["a:1", "a:2"]
+
+    def test_write_counter(self):
+        storage = StableStorage()
+        storage.put("k", 1)
+        storage.put("k", 2)
+        assert storage.writes == 2
+
+
+class TestNode:
+    def test_crash_clears_volatile_keeps_stable(self):
+        network = Network()
+        node = network.add_workstation("ws-1")
+        node.volatile["x"] = 1
+        node.stable.put("y", 2)
+        node.crash()
+        assert node.volatile == {}
+        assert node.stable.get("y") == 2
+        assert not node.up
+        node.restart()
+        assert node.up
+
+    def test_hooks_fire(self):
+        network = Network()
+        node = network.add_workstation("ws-1")
+        calls = []
+        node.on_crash.append(lambda: calls.append("crash"))
+        node.on_restart.append(lambda: calls.append("restart"))
+        node.crash()
+        node.restart()
+        assert calls == ["crash", "restart"]
+        assert node.crash_count == 1
+
+    def test_require_up(self):
+        network = Network()
+        node = network.add_workstation("ws-1")
+        node.crash()
+        with pytest.raises(NodeDownError):
+            node.require_up()
+
+
+class TestNetwork:
+    def test_duplicate_node_rejected(self):
+        network = Network()
+        network.add_server()
+        with pytest.raises(NetworkError):
+            network.add_node("server", NodeKind.SERVER)
+
+    def test_unknown_node(self):
+        with pytest.raises(NetworkError):
+            Network().node("nope")
+
+    def test_nodes_by_kind(self):
+        network = Network()
+        network.add_server()
+        network.add_workstation("ws-1")
+        network.add_workstation("ws-2")
+        assert len(network.nodes(NodeKind.WORKSTATION)) == 2
+        assert len(network.nodes()) == 3
+
+    def test_send_counts_messages_and_latency(self):
+        network = Network(lan_latency=0.01, local_latency=0.001)
+        network.add_server()
+        network.add_workstation("ws-1")
+        lan = network.send("ws-1", "server")
+        local = network.send("server", "server")
+        assert lan == 0.01
+        assert local == 0.001
+        assert network.messages_sent == 2
+        assert network.total_latency == pytest.approx(0.011)
+
+    def test_send_to_down_node_fails(self):
+        network = Network()
+        network.add_server()
+        network.add_workstation("ws-1")
+        network.crash_node("server")
+        with pytest.raises(NodeDownError):
+            network.send("ws-1", "server")
+
+    def test_send_from_down_node_fails(self):
+        network = Network()
+        network.add_server()
+        network.add_workstation("ws-1")
+        network.crash_node("ws-1")
+        with pytest.raises(NodeDownError):
+            network.send("ws-1", "server")
+
+    def test_reset_counters(self):
+        network = Network()
+        network.add_server()
+        network.add_workstation("ws-1")
+        network.send("ws-1", "server")
+        network.reset_counters()
+        assert network.messages_sent == 0
+        assert network.total_latency == 0.0

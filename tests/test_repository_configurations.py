@@ -1,0 +1,107 @@
+"""Tests for version configurations (the [KS92] extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository.configurations import ConfigurationManager
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.util.errors import RepositoryError, UnknownObjectError
+from repro.util.ids import IdGenerator
+
+
+@pytest.fixture
+def rig():
+    repo = DesignDataRepository(IdGenerator())
+    repo.register_dot(DesignObjectType("Cell", attributes=[
+        AttributeDef("v", AttributeKind.INT, required=False)]))
+    repo.create_graph("da-a")
+    repo.create_graph("da-b")
+    a1 = repo.checkin("da-a", "Cell", {"v": 1})
+    a2 = repo.checkin("da-a", "Cell", {"v": 2}, parents=(a1.dov_id,),
+                      created_at=1.0)
+    b1 = repo.checkin("da-b", "Cell", {"v": 10}, created_at=0.5)
+    manager = ConfigurationManager(repo, IdGenerator())
+    return repo, manager, a1, a2, b1
+
+
+class TestCompose:
+    def test_valid_composition(self, rig):
+        __, manager, a1, __a2, b1 = rig
+        config = manager.compose("rel-1", {"A": a1.dov_id,
+                                           "B": b1.dov_id})
+        assert config.members() == [a1.dov_id, b1.dov_id]
+        assert config.validate(manager.repository) == []
+
+    def test_missing_dov_rejected(self, rig):
+        __, manager, *_ = rig
+        with pytest.raises(RepositoryError):
+            manager.compose("bad", {"A": "dov-404"})
+
+    def test_two_versions_of_same_graph_rejected(self, rig):
+        __, manager, a1, a2, __b1 = rig
+        with pytest.raises(RepositoryError):
+            manager.compose("bad", {"A": a1.dov_id, "A2": a2.dov_id})
+
+    def test_unvalidated_compose_allows_problems(self, rig):
+        __, manager, a1, a2, __b1 = rig
+        config = manager.compose("lenient",
+                                 {"A": a1.dov_id, "A2": a2.dov_id},
+                                 require_valid=False)
+        assert len(config.validate(manager.repository)) == 1
+
+
+class TestLatest:
+    def test_binds_newest_leaves(self, rig):
+        __, manager, __a1, a2, b1 = rig
+        config = manager.latest("tip", {"A": "da-a", "B": "da-b"})
+        assert config.bindings["A"] == a2.dov_id
+        assert config.bindings["B"] == b1.dov_id
+
+    def test_empty_graph_rejected(self, rig):
+        repo, manager, *_ = rig
+        repo.create_graph("da-empty")
+        with pytest.raises(RepositoryError):
+            manager.latest("x", {"E": "da-empty"})
+
+
+class TestLifecycle:
+    def test_freeze(self, rig):
+        __, manager, a1, __a2, b1 = rig
+        config = manager.compose("rel", {"A": a1.dov_id, "B": b1.dov_id})
+        manager.freeze(config.config_id)
+        assert manager.get(config.config_id).frozen
+
+    def test_derive_rebinds_and_links(self, rig):
+        __, manager, a1, a2, b1 = rig
+        base = manager.compose("rel-1", {"A": a1.dov_id, "B": b1.dov_id})
+        successor = manager.derive(base.config_id, "rel-2",
+                                   {"A": a2.dov_id})
+        assert successor.bindings == {"A": a2.dov_id, "B": b1.dov_id}
+        assert successor.parent == base.config_id
+        # the base is untouched
+        assert manager.get(base.config_id).bindings["A"] == a1.dov_id
+
+    def test_derive_unknown_slot_rejected(self, rig):
+        __, manager, a1, __a2, b1 = rig
+        base = manager.compose("rel", {"A": a1.dov_id, "B": b1.dov_id})
+        with pytest.raises(RepositoryError):
+            manager.derive(base.config_id, "x", {"C": b1.dov_id})
+
+    def test_lineage(self, rig):
+        __, manager, a1, a2, b1 = rig
+        first = manager.compose("v1", {"A": a1.dov_id, "B": b1.dov_id})
+        second = manager.derive(first.config_id, "v2", {"A": a2.dov_id})
+        third = manager.derive(second.config_id, "v3", {"B": b1.dov_id})
+        names = [c.name for c in manager.lineage(third.config_id)]
+        assert names == ["v1", "v2", "v3"]
+
+    def test_unknown_configuration(self, rig):
+        __, manager, *_ = rig
+        with pytest.raises(UnknownObjectError):
+            manager.get("cfg-404")

@@ -1,0 +1,167 @@
+"""Tests for the federated repository (the paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository.federation import FederatedRepository
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.util.errors import UnknownObjectError
+from repro.util.ids import IdGenerator
+
+
+def make_dot():
+    return DesignObjectType("Cell", attributes=[
+        AttributeDef("area", AttributeKind.FLOAT, required=False)])
+
+
+@pytest.fixture
+def federation():
+    ids = IdGenerator()
+    members = {
+        "site-a": DesignDataRepository(ids),
+        "site-b": DesignDataRepository(ids),
+    }
+    fed = FederatedRepository(members)
+    fed.register_dot(make_dot())
+    return fed
+
+
+class TestPlacement:
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedRepository({})
+
+    def test_round_robin_placement(self, federation):
+        federation.create_graph("da-1")
+        federation.create_graph("da-2")
+        assert federation.placement_of("da-1") == "site-a"
+        assert federation.placement_of("da-2") == "site-b"
+
+    def test_explicit_assignment(self, federation):
+        federation.assign("da-9", "site-b")
+        federation.create_graph("da-9")
+        assert federation.placement_of("da-9") == "site-b"
+        assert federation.member("site-b").has_graph("da-9")
+        assert not federation.member("site-a").has_graph("da-9")
+
+    def test_unplaced_da(self, federation):
+        with pytest.raises(UnknownObjectError):
+            federation.placement_of("da-404")
+        assert not federation.has_graph("da-404")
+
+
+class TestSchemaBroadcast:
+    def test_dot_known_everywhere(self, federation):
+        for member in federation.members().values():
+            assert member.dot("Cell").name == "Cell"
+        assert federation.dot("Cell").name == "Cell"
+
+
+class TestRoutedCheckin:
+    def test_checkin_lands_on_home_member(self, federation):
+        federation.assign("da-1", "site-b")
+        federation.create_graph("da-1")
+        dov = federation.checkin("da-1", "Cell", {"area": 1.0})
+        assert dov.dov_id in federation.member("site-b")
+        assert dov.dov_id not in federation.member("site-a")
+        # ... but reads are location-transparent
+        assert federation.read(dov.dov_id).data == {"area": 1.0}
+        assert dov.dov_id in federation
+
+    def test_cross_member_lineage(self, federation):
+        """A usage-relationship input from another site is a legal
+        parent — exactly the interoperability the paper wants."""
+        federation.assign("da-a", "site-a")
+        federation.assign("da-b", "site-b")
+        federation.create_graph("da-a")
+        federation.create_graph("da-b")
+        source = federation.checkin("da-a", "Cell", {"area": 1.0})
+        derived = federation.checkin("da-b", "Cell", {"area": 2.0},
+                                     parents=(source.dov_id,))
+        assert derived.parents == (source.dov_id,)
+        assert federation.placement_of("da-b") == "site-b"
+
+    def test_unknown_parent_rejected(self, federation):
+        federation.create_graph("da-1")
+        with pytest.raises(UnknownObjectError):
+            federation.checkin("da-1", "Cell", {"area": 1.0},
+                               parents=("dov-404",))
+
+    def test_two_phase_abort(self, federation):
+        federation.create_graph("da-1")
+        staged = federation.stage_checkin("da-1", "Cell", {"area": 1.0},
+                                          (), 0.0)
+        assert federation.abort_checkin(staged.dov_id) is True
+        assert staged.dov_id not in federation
+
+
+class TestMemberFailure:
+    def test_one_member_crash_leaves_other_serving(self, federation):
+        federation.assign("da-a", "site-a")
+        federation.assign("da-b", "site-b")
+        federation.create_graph("da-a")
+        federation.create_graph("da-b")
+        dov_a = federation.checkin("da-a", "Cell", {"area": 1.0})
+        dov_b = federation.checkin("da-b", "Cell", {"area": 2.0})
+        federation.crash_member("site-a")
+        # site-b unaffected
+        assert federation.read(dov_b.dov_id).data == {"area": 2.0}
+        # site-a recovers from its own WAL
+        federation.recover_member("site-a")
+        assert federation.read(dov_a.dov_id).data == {"area": 1.0}
+
+    def test_stats(self, federation):
+        federation.create_graph("da-1")
+        federation.checkin("da-1", "Cell", {"area": 1.0})
+        stats = federation.stats()
+        assert stats["members"] == 2
+        assert stats["placements"] == 1
+        assert stats["directory_entries"] == 1
+
+
+class TestCheckpointing:
+    def test_recover_from_checkpoint(self):
+        repo = DesignDataRepository(IdGenerator())
+        repo.register_dot(make_dot())
+        repo.create_graph("da-1")
+        first = repo.checkin("da-1", "Cell", {"area": 1.0})
+        second = repo.checkin("da-1", "Cell", {"area": 2.0},
+                              parents=(first.dov_id,))
+        truncated = repo.checkpoint()
+        assert truncated >= 2
+        # post-checkpoint activity lands in the WAL tail
+        third = repo.checkin("da-1", "Cell", {"area": 3.0},
+                             parents=(second.dov_id,))
+        repo.crash()
+        report = repo.recover()
+        assert report["versions"] == 3
+        graph = repo.graph("da-1")
+        assert graph.is_ancestor(first.dov_id, third.dov_id)
+
+    def test_checkpoint_shrinks_wal(self):
+        repo = DesignDataRepository(IdGenerator())
+        repo.register_dot(make_dot())
+        repo.create_graph("da-1")
+        for i in range(10):
+            repo.checkin("da-1", "Cell", {"area": float(i)})
+        before = len(repo.wal)
+        repo.checkpoint()
+        assert len(repo.wal) < before
+
+    def test_repeated_checkpoints(self):
+        repo = DesignDataRepository(IdGenerator())
+        repo.register_dot(make_dot())
+        repo.create_graph("da-1")
+        repo.checkin("da-1", "Cell", {"area": 1.0})
+        repo.checkpoint()
+        repo.checkin("da-1", "Cell", {"area": 2.0})
+        repo.checkpoint()
+        repo.crash()
+        report = repo.recover()
+        assert report["versions"] == 2

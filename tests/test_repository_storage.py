@@ -1,0 +1,145 @@
+"""Unit tests for the WAL and the version store crash semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository.storage import VersionStore
+from repro.repository.versions import DesignObjectVersion
+from repro.repository.wal import LogRecordKind, WriteAheadLog
+from repro.util.errors import StorageError, UnknownObjectError
+
+
+def dov(dov_id: str) -> DesignObjectVersion:
+    return DesignObjectVersion(dov_id, "Cell", {"area": 1.0}, "da-1", 0.0)
+
+
+class TestWriteAheadLog:
+    def test_lsn_monotone(self):
+        wal = WriteAheadLog()
+        first = wal.append(LogRecordKind.CHECKPOINT)
+        second = wal.append(LogRecordKind.CHECKPOINT)
+        assert second.lsn == first.lsn + 1
+
+    def test_crash_loses_unforced_tail(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordKind.DOV_CHECKIN, {"dov_id": "a"}, force=True)
+        wal.append(LogRecordKind.DOV_CHECKIN, {"dov_id": "b"})
+        lost = wal.crash()
+        assert lost == 1
+        ids = [r.payload["dov_id"]
+               for r in wal.stable_records(LogRecordKind.DOV_CHECKIN)]
+        assert ids == ["a"]
+
+    def test_force_flushes_everything_pending(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordKind.CHECKPOINT)
+        wal.append(LogRecordKind.CHECKPOINT)
+        assert wal.force() == 2
+        assert wal.crash() == 0
+
+    def test_forced_writes_counted(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordKind.CHECKPOINT, force=True)
+        wal.append(LogRecordKind.CHECKPOINT, force=True)
+        wal.force()  # nothing pending: not counted
+        assert wal.forced_writes == 2
+
+    def test_payload_is_deep_copied(self):
+        wal = WriteAheadLog()
+        payload = {"nested": [1]}
+        wal.append(LogRecordKind.CHECKPOINT, payload, force=True)
+        payload["nested"].append(2)
+        assert wal.stable_records()[0].payload["nested"] == [1]
+
+    def test_stable_lsn(self):
+        wal = WriteAheadLog()
+        assert wal.stable_lsn == 0
+        wal.append(LogRecordKind.CHECKPOINT, force=True)
+        wal.append(LogRecordKind.CHECKPOINT)
+        assert wal.stable_lsn == 1
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        for _ in range(5):
+            wal.append(LogRecordKind.CHECKPOINT, force=True)
+        assert wal.truncate(up_to_lsn=3) == 3
+        assert [r.lsn for r in wal.stable_records()] == [4, 5]
+
+    def test_filter_by_kind(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordKind.DOP_START, force=True)
+        wal.append(LogRecordKind.DOP_FINISH, force=True)
+        assert len(wal.stable_records(LogRecordKind.DOP_START)) == 1
+
+
+class TestVersionStore:
+    def test_stage_commit_read(self):
+        store = VersionStore()
+        store.stage(dov("v1"))
+        assert "v1" not in store          # staged is invisible
+        store.commit("v1")
+        assert store.get("v1").dov_id == "v1"
+
+    def test_duplicate_stage_rejected(self):
+        store = VersionStore()
+        store.put_durable(dov("v1"))
+        with pytest.raises(StorageError):
+            store.stage(dov("v1"))
+
+    def test_commit_unstaged_rejected(self):
+        with pytest.raises(StorageError):
+            VersionStore().commit("vx")
+
+    def test_discard(self):
+        store = VersionStore()
+        store.stage(dov("v1"))
+        assert store.discard("v1") is True
+        assert store.discard("v1") is False
+        assert store.staged_ids() == set()
+
+    def test_crash_loses_staged_keeps_committed(self):
+        store = VersionStore()
+        store.put_durable(dov("v1"))
+        store.stage(dov("v2"))
+        report = store.crash()
+        assert report["staged_lost"] == 1
+        assert not store.is_up
+        recovered = store.recover()
+        assert recovered == 1
+        assert "v1" in store
+        assert "v2" not in store
+
+    def test_down_store_refuses_access(self):
+        store = VersionStore()
+        store.put_durable(dov("v1"))
+        store.crash()
+        with pytest.raises(StorageError):
+            store.get("v1")
+        with pytest.raises(StorageError):
+            store.stage(dov("v2"))
+
+    def test_recover_is_idempotent(self):
+        store = VersionStore()
+        store.put_durable(dov("v1"))
+        store.crash()
+        store.recover()
+        assert store.recover() == 0
+        assert len(store) == 1
+
+    def test_unknown_read_raises(self):
+        with pytest.raises(UnknownObjectError):
+            VersionStore().get("nope")
+
+    def test_recovered_version_roundtrips_fields(self):
+        store = VersionStore()
+        original = DesignObjectVersion("v9", "Cell", {"a": [1, 2]},
+                                       "da-3", 42.0, ("p1", "p2"))
+        store.put_durable(original)
+        store.crash()
+        store.recover()
+        back = store.get("v9")
+        assert back.created_by == "da-3"
+        assert back.created_at == 42.0
+        assert back.parents == ("p1", "p2")
+        assert back.data == {"a": [1, 2]}

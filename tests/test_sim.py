@@ -1,0 +1,141 @@
+"""Unit tests for repro.sim: clock, scheduler, failure plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.failures import FailureKind, FailurePlan
+from repro.sim.scheduler import EventScheduler
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_never_goes_back(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(15.0)
+        assert clock.now == 15.0
+
+    def test_reset(self):
+        clock = SimClock(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.at(3.0, lambda: order.append("c"))
+        sched.at(1.0, lambda: order.append("a"))
+        sched.at(2.0, lambda: order.append("b"))
+        sched.run()
+        assert order == ["a", "b", "c"]
+        assert sched.clock.now == 3.0
+
+    def test_ties_resolve_by_insertion_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.at(1.0, lambda: order.append(1))
+        sched.at(1.0, lambda: order.append(2))
+        sched.run()
+        assert order == [1, 2]
+
+    def test_priority_breaks_ties(self):
+        sched = EventScheduler()
+        order = []
+        sched.at(1.0, lambda: order.append("low"), priority=1)
+        sched.at(1.0, lambda: order.append("high"), priority=0)
+        sched.run()
+        assert order == ["high", "low"]
+
+    def test_after_schedules_relative(self):
+        sched = EventScheduler()
+        sched.clock.advance(10.0)
+        seen = []
+        sched.after(5.0, lambda: seen.append(sched.clock.now))
+        sched.run()
+        assert seen == [15.0]
+
+    def test_cannot_schedule_in_past(self):
+        sched = EventScheduler()
+        sched.clock.advance(5.0)
+        with pytest.raises(ValueError):
+            sched.at(1.0, lambda: None)
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        hit = []
+        event = sched.at(1.0, lambda: hit.append(1))
+        sched.cancel(event)
+        sched.run()
+        assert hit == []
+        assert sched.pending == 0
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        seen = []
+
+        def chain():
+            seen.append(sched.clock.now)
+            if len(seen) < 3:
+                sched.after(1.0, chain)
+
+        sched.at(0.0, chain)
+        sched.run()
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_run_until(self):
+        sched = EventScheduler()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sched.at(t, lambda t=t: seen.append(t))
+        sched.run(until=2.0)
+        assert seen == [1.0, 2.0]
+        assert sched.clock.now == 2.0
+        assert sched.pending == 1
+
+    def test_max_events(self):
+        sched = EventScheduler()
+        for t in (1.0, 2.0, 3.0):
+            sched.at(t, lambda: None)
+        ran = sched.run(max_events=2)
+        assert ran == 2
+        assert sched.executed == 2
+
+    def test_step_returns_false_when_empty(self):
+        assert EventScheduler().step() is False
+
+
+class TestFailurePlan:
+    def test_chaining(self):
+        plan = FailurePlan().crash_workstation("ws-1", at=10.0) \
+                            .crash_server("server", at=20.0)
+        assert len(plan) == 2
+
+    def test_sorted_events(self):
+        plan = FailurePlan()
+        plan.crash_server("server", at=20.0)
+        plan.crash_workstation("ws-1", at=10.0)
+        events = plan.sorted_events()
+        assert [e.at for e in events] == [10.0, 20.0]
+        assert events[0].kind is FailureKind.WORKSTATION_CRASH
+
+    def test_restart_at(self):
+        plan = FailurePlan().crash_server("server", at=5.0,
+                                          restart_after=2.5)
+        assert plan.events[0].restart_at == 7.5

@@ -1,0 +1,76 @@
+"""Tests for the failure injector (plan -> scheduled network events)."""
+
+from __future__ import annotations
+
+from repro.net.network import Network
+from repro.sim.failures import FailurePlan
+from repro.sim.injector import FailureInjector
+from repro.sim.scheduler import EventScheduler
+
+
+def rig():
+    scheduler = EventScheduler()
+    network = Network(scheduler.clock)
+    network.add_server()
+    network.add_workstation("ws-1")
+    return scheduler, network
+
+
+class TestFailureInjector:
+    def test_crash_and_restart_enacted_at_times(self):
+        scheduler, network = rig()
+        injector = FailureInjector(network, scheduler)
+        plan = FailurePlan().crash_workstation("ws-1", at=10.0,
+                                               restart_after=5.0)
+        assert injector.arm(plan) == 1
+        scheduler.run(until=12.0)
+        assert not network.node("ws-1").up
+        scheduler.run(until=20.0)
+        assert network.node("ws-1").up
+        actions = [(e.at, e.action) for e in injector.log]
+        assert actions == [(10.0, "crash"), (15.0, "restart")]
+
+    def test_on_restart_callback(self):
+        scheduler, network = rig()
+        recovered = []
+        injector = FailureInjector(network, scheduler,
+                                   on_restart=recovered.append)
+        injector.arm(FailurePlan().crash_server("server", at=5.0))
+        scheduler.run()
+        assert recovered == ["server"]
+
+    def test_multiple_failures_ordered(self):
+        scheduler, network = rig()
+        injector = FailureInjector(network, scheduler)
+        plan = (FailurePlan()
+                .crash_server("server", at=20.0)
+                .crash_workstation("ws-1", at=10.0, restart_after=2.0))
+        injector.arm(plan)
+        scheduler.run()
+        assert [e.node for e in injector.log
+                if e.action == "crash"] == ["ws-1", "server"]
+        assert len(injector.crashes_of("ws-1")) == 1
+        assert network.node("server").up          # restarted
+        assert network.node("server").crash_count == 1
+
+    def test_crash_fires_before_same_time_work(self):
+        """priority=-1 makes the crash preempt work at the same instant."""
+        scheduler, network = rig()
+        injector = FailureInjector(network, scheduler)
+        injector.arm(FailurePlan().crash_workstation("ws-1", at=10.0))
+        observed = []
+        scheduler.at(10.0, lambda: observed.append(
+            network.node("ws-1").up))
+        scheduler.run(until=10.0)
+        assert observed == [False]
+
+    def test_repeated_crash_of_same_node(self):
+        scheduler, network = rig()
+        injector = FailureInjector(network, scheduler)
+        plan = (FailurePlan()
+                .crash_workstation("ws-1", at=5.0, restart_after=1.0)
+                .crash_workstation("ws-1", at=10.0, restart_after=1.0))
+        injector.arm(plan)
+        scheduler.run()
+        assert network.node("ws-1").crash_count == 2
+        assert network.node("ws-1").up

@@ -1,0 +1,101 @@
+"""Unit tests for DOP contexts and savepoint stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.te.context import DopContext, SavepointStack
+from repro.util.errors import RecoveryError
+
+
+class TestDopContext:
+    def test_snapshot_roundtrip(self):
+        context = DopContext(data={"a": [1]}, tool_state={"phase": 1},
+                             checked_out=["dov-1"], work_done=5.0)
+        snap = context.snapshot()
+        back = DopContext.from_snapshot(snap)
+        assert back.data == {"a": [1]}
+        assert back.tool_state == {"phase": 1}
+        assert back.checked_out == ["dov-1"]
+        assert back.work_done == 5.0
+
+    def test_snapshot_is_isolated(self):
+        context = DopContext(data={"a": [1]})
+        snap = context.snapshot()
+        context.data["a"].append(2)
+        assert snap["data"]["a"] == [1]
+
+    def test_from_snapshot_is_isolated(self):
+        snap = {"data": {"a": [1]}, "tool_state": {},
+                "checked_out": [], "work_done": 0.0}
+        context = DopContext.from_snapshot(snap)
+        context.data["a"].append(2)
+        assert snap["data"]["a"] == [1]
+
+
+class TestSavepointStack:
+    def test_save_restore_latest(self):
+        stack = SavepointStack()
+        context = DopContext(data={"v": 1})
+        stack.save("one", context)
+        context.data["v"] = 2
+        restored = stack.restore()
+        assert restored.data["v"] == 1
+
+    def test_restore_by_name_discards_later(self):
+        stack = SavepointStack()
+        context = DopContext(data={"v": 1})
+        stack.save("one", context)
+        context.data["v"] = 2
+        stack.save("two", context)
+        restored = stack.restore("one")
+        assert restored.data["v"] == 1
+        assert stack.names() == ["one"]
+
+    def test_restore_keeps_the_restored_point(self):
+        stack = SavepointStack()
+        stack.save("one", DopContext(data={"v": 1}))
+        stack.restore("one")
+        restored_again = stack.restore("one")
+        assert restored_again.data["v"] == 1
+
+    def test_duplicate_name_rejected(self):
+        stack = SavepointStack()
+        stack.save("one", DopContext())
+        with pytest.raises(RecoveryError):
+            stack.save("one", DopContext())
+
+    def test_restore_unknown_raises(self):
+        stack = SavepointStack()
+        stack.save("one", DopContext())
+        with pytest.raises(RecoveryError):
+            stack.restore("missing")
+
+    def test_restore_empty_raises(self):
+        with pytest.raises(RecoveryError):
+            SavepointStack().restore()
+
+    def test_clear(self):
+        stack = SavepointStack()
+        stack.save("one", DopContext())
+        stack.clear()
+        assert len(stack) == 0
+
+    def test_snapshot_roundtrip(self):
+        stack = SavepointStack()
+        stack.save("a", DopContext(data={"v": 1}))
+        stack.save("b", DopContext(data={"v": 2}))
+        back = SavepointStack.from_snapshot(stack.snapshot())
+        assert back.names() == ["a", "b"]
+        assert back.restore("a").data["v"] == 1
+
+    def test_wipe_out_semantics(self):
+        """Restoring wipes out everything changed after the savepoint."""
+        stack = SavepointStack()
+        context = DopContext(data={"placed": ["a"]})
+        stack.save("before-experiment", context)
+        context.data["placed"] += ["b", "c"]
+        context.tool_state["dirty"] = True
+        restored = stack.restore("before-experiment")
+        assert restored.data["placed"] == ["a"]
+        assert "dirty" not in restored.tool_state

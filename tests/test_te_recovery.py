@@ -1,0 +1,81 @@
+"""Unit tests for recovery points (client-TM side)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import StableStorage
+from repro.te.context import DopContext, SavepointStack
+from repro.te.recovery import RecoveryManager, RecoveryPointPolicy
+from repro.util.errors import RecoveryError
+
+
+@pytest.fixture
+def manager():
+    return RecoveryManager(StableStorage(),
+                           RecoveryPointPolicy(interval=30.0))
+
+
+class TestPolicy:
+    def test_interval_due(self):
+        policy = RecoveryPointPolicy(interval=30.0)
+        assert not policy.due(29.9)
+        assert policy.due(30.0)
+
+    def test_zero_interval_never_due(self):
+        policy = RecoveryPointPolicy(interval=0.0)
+        assert not policy.due(1e9)
+
+    def test_after_checkout_default(self):
+        assert RecoveryPointPolicy().after_checkout
+
+
+class TestRecoveryManager:
+    def test_take_and_restore(self, manager):
+        context = DopContext(data={"v": 1}, work_done=10.0)
+        savepoints = SavepointStack()
+        savepoints.save("sp", context)
+        manager.take("dop-1", context, savepoints, taken_at=5.0,
+                     reason="checkout")
+        context.data["v"] = 99       # later volatile changes
+        restored_ctx, restored_sps, point = manager.restore("dop-1")
+        assert restored_ctx.data["v"] == 1
+        assert restored_ctx.work_done == 10.0
+        assert restored_sps.names() == ["sp"]
+        assert point.reason == "checkout"
+        assert point.taken_at == 5.0
+
+    def test_only_latest_point_kept(self, manager):
+        context = DopContext(data={"v": 1})
+        manager.take("dop-1", context, SavepointStack(), 1.0, "checkout")
+        context.data["v"] = 2
+        manager.take("dop-1", context, SavepointStack(), 2.0, "interval")
+        restored, __, point = manager.restore("dop-1")
+        assert restored.data["v"] == 2
+        assert point.reason == "interval"
+        assert manager.points_taken == 2
+
+    def test_restore_without_point_raises(self, manager):
+        with pytest.raises(RecoveryError):
+            manager.restore("dop-404")
+
+    def test_remove_on_end_of_dop(self, manager):
+        manager.take("dop-1", DopContext(), SavepointStack(), 0.0, "x")
+        assert manager.has_point("dop-1")
+        assert manager.remove("dop-1") is True
+        assert not manager.has_point("dop-1")
+        with pytest.raises(RecoveryError):
+            manager.restore("dop-1")
+
+    def test_points_per_dop_are_independent(self, manager):
+        manager.take("dop-1", DopContext(data={"d": 1}),
+                     SavepointStack(), 0.0, "a")
+        manager.take("dop-2", DopContext(data={"d": 2}),
+                     SavepointStack(), 0.0, "b")
+        ctx1, __, __p1 = manager.restore("dop-1")
+        ctx2, __, __p2 = manager.restore("dop-2")
+        assert ctx1.data["d"] == 1
+        assert ctx2.data["d"] == 2
+
+    def test_latest_returns_none_when_absent(self, manager):
+        assert manager.latest("nope") is None

@@ -1,0 +1,253 @@
+"""Integration tests for the TE level: DOP lifecycle via client/server TM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+    range_constraint,
+)
+from repro.sim.clock import SimClock
+from repro.te.dop import DopState
+from repro.te.locks import LockManager, LockMode
+from repro.te.recovery import RecoveryPointPolicy
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.util.errors import (
+    LockConflictError,
+    RecoveryError,
+    ScopeViolationError,
+    TransactionError,
+    TransactionStateError,
+)
+from repro.util.ids import IdGenerator
+
+
+@pytest.fixture
+def rig():
+    clock = SimClock()
+    network = Network(clock)
+    network.add_server()
+    workstation = network.add_workstation("ws-1")
+    rpc = TransactionalRpc(network)
+    ids = IdGenerator()
+    repo = DesignDataRepository(ids)
+    repo.register_dot(DesignObjectType("Cell", attributes=[
+        AttributeDef("area", AttributeKind.FLOAT, required=False)],
+        constraints=[range_constraint("area", lo=0.0)]))
+    repo.create_graph("da-1")
+    repo.create_graph("da-2")
+    locks = LockManager()
+    server_tm = ServerTM(repo, locks, network, clock=clock)
+    register_server_endpoints(rpc, server_tm)
+    client_tm = ClientTM("ws-1", server_tm, rpc, clock, ids,
+                         policy=RecoveryPointPolicy(interval=30.0))
+    dov0 = repo.checkin("da-1", "Cell", {"area": 100.0})
+    return {
+        "clock": clock, "network": network, "workstation": workstation,
+        "repo": repo, "locks": locks, "server_tm": server_tm,
+        "client_tm": client_tm, "dov0": dov0,
+    }
+
+
+class TestDopLifecycle:
+    def test_full_cycle(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        assert dop.state is DopState.ACTIVE
+        client.checkout(dop, rig["dov0"].dov_id)
+        client.work(dop, 10.0,
+                    mutate=lambda c: c.data.update(area=50.0))
+        result = client.checkin(dop, "Cell")
+        assert result.success
+        client.commit_dop(dop, result)
+        assert dop.state is DopState.COMMITTED
+        graph = rig["repo"].graph("da-1")
+        assert result.dov.dov_id in graph
+        assert graph.is_ancestor(rig["dov0"].dov_id, result.dov.dov_id)
+
+    def test_work_advances_clock(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.work(dop, 42.0)
+        assert rig["clock"].now == 42.0
+        assert dop.context.work_done == 42.0
+
+    def test_checkin_failure_reported_not_raised(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        client.work(dop, 1.0,
+                    mutate=lambda c: c.data.update(area=-5.0))
+        result = client.checkin(dop, "Cell")
+        assert not result.success
+        assert "range(area)" in result.reason
+        # the paper: designer/DM decides -> abort here
+        client.abort_dop(dop, result.reason)
+        assert dop.state is DopState.ABORTED
+        assert len(rig["repo"].graph("da-1")) == 1  # nothing persisted
+
+    def test_state_guards(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.commit_dop(dop)
+        with pytest.raises(TransactionStateError):
+            client.work(dop, 1.0)
+        with pytest.raises(TransactionStateError):
+            client.checkout(dop, rig["dov0"].dov_id)
+
+    def test_dm_callback_on_finish(self, rig):
+        client = rig["client_tm"]
+        seen = []
+        client.on_dop_finished = lambda dop, res: seen.append(
+            (dop.dop_id, res.success))
+        dop = client.begin_dop("da-1", "tool")
+        client.commit_dop(dop)
+        assert seen == [(dop.dop_id, True)]
+
+
+class TestCheckoutSemantics:
+    def test_scope_enforced(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-2", "tool")
+        with pytest.raises(ScopeViolationError):
+            client.checkout(dop, rig["dov0"].dov_id)  # da-1's DOV
+
+    def test_derivation_lock_blocks_other_da(self, rig):
+        client = rig["client_tm"]
+        server = rig["server_tm"]
+        # pretend the CM authorised da-2 to see the DOV (usage rel.)
+        server.scope_check = lambda da, dov: True
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id, derivation_lock=True)
+        # even with scope access, the derivation lock blocks checkout
+        with pytest.raises(LockConflictError):
+            server.checkout("da-2", "dop-x", rig["dov0"].dov_id)
+
+    def test_same_da_can_checkout_again(self, rig):
+        client = rig["client_tm"]
+        dop_a = client.begin_dop("da-1", "tool")
+        client.checkout(dop_a, rig["dov0"].dov_id, derivation_lock=True)
+        dop_b = client.begin_dop("da-1", "tool")
+        client.checkout(dop_b, rig["dov0"].dov_id)  # same DA: allowed
+
+    def test_derivation_locks_released_at_end_of_dop(self, rig):
+        client = rig["client_tm"]
+        server = rig["server_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id, derivation_lock=True)
+        client.commit_dop(dop)
+        # now another DA's checkout is admitted past the derivation check
+        # (scope still fails, which proves the lock went away first)
+        with pytest.raises(ScopeViolationError):
+            server.checkout("da-2", "dop-x", rig["dov0"].dov_id)
+        assert rig["locks"].holders(rig["dov0"].dov_id,
+                                    LockMode.DERIVATION) == []
+
+    def test_recovery_point_after_checkout(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        assert client.recovery.has_point(dop.dop_id)
+
+    def test_checkout_merges_data_into_context(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        assert dop.context.data["area"] == 100.0
+        assert dop.input_dovs == [rig["dov0"].dov_id]
+
+
+class TestSuspendResume:
+    def test_resume_restores_suspend_state(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.work(dop, 10.0, mutate=lambda c: c.data.update(x=1))
+        client.suspend(dop)
+        assert dop.state is DopState.SUSPENDED
+        with pytest.raises(TransactionStateError):
+            client.work(dop, 1.0)
+        client.resume(dop)
+        assert dop.state is DopState.ACTIVE
+        assert dop.context.data["x"] == 1
+        assert dop.context.work_done == 10.0
+
+
+class TestSavepoints:
+    def test_save_restore_through_client_tm(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.work(dop, 5.0, mutate=lambda c: c.data.update(v=1))
+        client.save(dop, "sp1")
+        client.work(dop, 5.0, mutate=lambda c: c.data.update(v=2))
+        client.restore(dop, "sp1")
+        assert dop.context.data["v"] == 1
+
+    def test_savepoints_cleared_at_commit(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.save(dop, "sp1")
+        client.commit_dop(dop)
+        assert len(dop.savepoints) == 0
+        assert not client.recovery.has_point(dop.dop_id)
+
+
+class TestWorkstationCrash:
+    def test_recover_from_interval_point(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        client.work(dop, 30.0)   # interval point at 30
+        client.work(dop, 20.0)   # 20 min past the point
+        rig["network"].crash_node("ws-1")
+        assert client.active_dops() == []
+        rig["network"].restart_node("ws-1")
+        recovered, __ = client.recover_dop(dop.dop_id, "da-1", "tool")
+        assert recovered.context.work_done == 30.0  # 20 min lost
+        assert recovered.input_dovs == [rig["dov0"].dov_id]
+        assert recovered.state is DopState.ACTIVE
+
+    def test_recover_without_point_fails(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")  # no checkout, no work
+        rig["network"].crash_node("ws-1")
+        rig["network"].restart_node("ws-1")
+        with pytest.raises(RecoveryError):
+            client.recover_dop(dop.dop_id, "da-1", "tool")
+
+    def test_get_dop_after_crash_raises(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        rig["network"].crash_node("ws-1")
+        rig["network"].restart_node("ws-1")
+        with pytest.raises(TransactionError):
+            client.get_dop(dop.dop_id)
+
+
+class TestCheckinTwoPhase:
+    def test_checkin_uses_2pc(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        client.work(dop, 1.0, mutate=lambda c: c.data.update(area=1.0))
+        result = client.checkin(dop, "Cell")
+        assert result.outcome is not None
+        assert result.outcome.committed
+        assert result.outcome.forced_log_writes >= 2
+
+    def test_failed_checkin_aborts_2pc(self, rig):
+        client = rig["client_tm"]
+        dop = client.begin_dop("da-1", "tool")
+        client.work(dop, 1.0, mutate=lambda c: c.data.update(area=-1.0))
+        result = client.checkin(dop, "Cell")
+        assert not result.outcome.committed
+        assert rig["repo"].store.staged_ids() == set()

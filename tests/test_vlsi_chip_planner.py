@@ -1,0 +1,180 @@
+"""Unit tests for the chip planner toolbox and floorplans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import SeededRng
+from repro.vlsi.chip_planner import ChipPlanner, bipartition, global_route
+from repro.vlsi.floorplan import (
+    Floorplan,
+    FloorplanInterface,
+    PinInterval,
+    Placement,
+)
+from repro.vlsi.netlist import Net, NetList, synthetic_netlist
+from repro.vlsi.shapes import shapes_for_area
+
+
+@pytest.fixture
+def workload():
+    cells = [f"c{i}" for i in range(8)]
+    netlist = synthetic_netlist(cells, SeededRng(42))
+    shape_functions = {c: shapes_for_area(c, 4.0 + i)
+                       for i, c in enumerate(cells)}
+    interface = FloorplanInterface("cud", 40.0, 40.0)
+    return cells, netlist, shape_functions, interface
+
+
+class TestBipartition:
+    def test_partitions_cover_all_cells(self, workload):
+        cells, netlist, __, __i = workload
+        part_a, part_b = bipartition(netlist, {c: 1.0 for c in cells})
+        assert part_a | part_b == set(cells)
+        assert part_a & part_b == set()
+
+    def test_balanced(self, workload):
+        cells, netlist, __, __i = workload
+        part_a, part_b = bipartition(netlist, {c: 1.0 for c in cells})
+        assert abs(len(part_a) - len(part_b)) <= 2
+
+    def test_improves_over_naive_split(self, workload):
+        cells, netlist, __, __i = workload
+        areas = {c: 1.0 for c in cells}
+        part_a, part_b = bipartition(netlist, areas)
+        optimised = netlist.cut_size(part_a, part_b)
+        # compare to an arbitrary odd/even split
+        odd = {c for i, c in enumerate(cells) if i % 2}
+        even = set(cells) - odd
+        naive = netlist.cut_size(odd, even)
+        assert optimised <= naive
+
+    def test_single_cell(self):
+        netlist = NetList(cells=["a"], nets=[])
+        part_a, part_b = bipartition(netlist, {"a": 1.0})
+        assert part_a == {"a"}
+        assert part_b == set()
+
+    def test_two_cells(self):
+        netlist = NetList(cells=["a", "b"], nets=[Net("n", ("a", "b"))])
+        part_a, part_b = bipartition(netlist, {"a": 1.0, "b": 1.0})
+        assert len(part_a) == 1 and len(part_b) == 1
+
+
+class TestFloorplanGeometry:
+    def test_planner_produces_valid_floorplan(self, workload):
+        cells, netlist, shape_functions, interface = workload
+        plan = ChipPlanner(iterations=3, seed=1).plan(
+            "cud", netlist, shape_functions, interface)
+        assert plan.validate() == []
+        assert set(plan.placements) == set(cells)
+        assert plan.width > 0 and plan.height > 0
+        assert 0 < plan.utilisation <= 1.0
+
+    def test_deterministic_given_seed(self, workload):
+        __, netlist, shape_functions, interface = workload
+        plan_a = ChipPlanner(iterations=2, seed=9).plan(
+            "cud", netlist, shape_functions, interface)
+        plan_b = ChipPlanner(iterations=2, seed=9).plan(
+            "cud", netlist, shape_functions, interface)
+        assert plan_a.to_dict() == plan_b.to_dict()
+
+    def test_more_iterations_never_worse(self, workload):
+        __, netlist, shape_functions, interface = workload
+        single = ChipPlanner(iterations=1, seed=4).plan(
+            "cud", netlist, shape_functions, interface)
+        many = ChipPlanner(iterations=6, seed=4).plan(
+            "cud", netlist, shape_functions, interface)
+        # the driver keeps the best (overflow, wirelength) plan
+        def key(plan):
+            overflow = max(0.0, plan.width - interface.max_width) \
+                + max(0.0, plan.height - interface.max_height)
+            return (overflow, plan.wirelength)
+        assert key(many) <= key(single)
+
+    def test_subcell_interfaces_match_placements(self, workload):
+        cells, netlist, shape_functions, interface = workload
+        plan = ChipPlanner(seed=2).plan("cud", netlist, shape_functions,
+                                        interface)
+        interfaces = plan.subcell_interfaces()
+        assert {i.cell for i in interfaces} == set(cells)
+        for sub in interfaces:
+            placement = plan.placements[sub.cell]
+            assert sub.max_width == placement.width
+            assert sub.origin == (placement.x, placement.y)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            ChipPlanner(iterations=0)
+
+    def test_fits(self, workload):
+        __, netlist, shape_functions, interface = workload
+        planner = ChipPlanner(seed=3)
+        plan = planner.plan("cud", netlist, shape_functions, interface)
+        assert planner.fits(plan, interface) == (
+            plan.width <= interface.max_width
+            and plan.height <= interface.max_height)
+
+
+class TestGlobalRoute:
+    def test_hpwl_of_two_points(self):
+        plan = Floorplan("cud", 10.0, 10.0)
+        plan.placements["a"] = Placement("a", 0.0, 0.0, 2.0, 2.0)
+        plan.placements["b"] = Placement("b", 8.0, 8.0, 2.0, 2.0)
+        netlist = NetList(cells=["a", "b"], nets=[Net("n", ("a", "b"))])
+        # centres (1,1) and (9,9): HPWL = 8 + 8
+        assert global_route(plan, netlist) == pytest.approx(16.0)
+
+    def test_single_pin_net_free(self):
+        plan = Floorplan("cud", 10.0, 10.0)
+        plan.placements["a"] = Placement("a", 0.0, 0.0, 2.0, 2.0)
+        netlist = NetList(cells=["a", "b"],
+                          nets=[Net("n", ("a", "b"))])
+        # 'b' unplaced -> only one point -> contributes nothing
+        assert global_route(plan, netlist) == 0.0
+
+
+class TestFloorplanValidation:
+    def test_overlap_detected(self):
+        plan = Floorplan("cud", 10.0, 10.0)
+        plan.placements["a"] = Placement("a", 0.0, 0.0, 5.0, 5.0)
+        plan.placements["b"] = Placement("b", 3.0, 3.0, 5.0, 5.0)
+        problems = plan.validate()
+        assert any("overlaps" in p for p in problems)
+
+    def test_out_of_bounds_detected(self):
+        plan = Floorplan("cud", 4.0, 4.0)
+        plan.placements["a"] = Placement("a", 2.0, 2.0, 5.0, 5.0)
+        assert any("out of bounds" in p for p in plan.validate())
+
+    def test_touching_is_not_overlap(self):
+        plan = Floorplan("cud", 10.0, 10.0)
+        plan.placements["a"] = Placement("a", 0.0, 0.0, 5.0, 5.0)
+        plan.placements["b"] = Placement("b", 5.0, 0.0, 5.0, 5.0)
+        assert plan.validate() == []
+
+    def test_dict_roundtrip(self):
+        plan = Floorplan("cud", 10.0, 8.0, cut_nets=3, wirelength=12.5)
+        plan.placements["a"] = Placement("a", 1.0, 2.0, 3.0, 4.0)
+        back = Floorplan.from_dict(plan.to_dict())
+        assert back.width == 10.0
+        assert back.placements["a"] == Placement("a", 1.0, 2.0, 3.0, 4.0)
+        assert back.cut_nets == 3
+
+
+class TestInterface:
+    def test_area_limit(self):
+        interface = FloorplanInterface("c", 10.0, 5.0)
+        assert interface.area_limit == 50.0
+
+    def test_pin_interval_length(self):
+        pin = PinInterval("north", 2.0, 6.0)
+        assert pin.length() == 4.0
+
+    def test_dict_roundtrip_with_pins(self):
+        interface = FloorplanInterface(
+            "c", 10.0, 5.0, origin=(1.0, 2.0),
+            pins=(PinInterval("north", 0.0, 2.0, net="clk"),))
+        back = FloorplanInterface.from_dict(interface.to_dict())
+        assert back.origin == (1.0, 2.0)
+        assert back.pins[0].net == "clk"

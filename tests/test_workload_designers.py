@@ -1,0 +1,154 @@
+"""Tests for the reusable designer policies."""
+
+from __future__ import annotations
+
+from repro.core.features import DesignSpecification, RangeFeature
+from repro.core.system import ConcordSystem
+from repro.dc.script import (
+    Alternative,
+    DaOpStep,
+    DopStep,
+    Iteration,
+    Open,
+    Script,
+    Sequence,
+)
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.workload.designers import (
+    GoalDrivenPolicy,
+    ScriptedPolicy,
+    SeededPolicy,
+)
+
+
+def build_system():
+    system = ConcordSystem(trace=False)
+    system.add_workstation("ws-1")
+    system.tools.register(
+        "halve", lambda ctx, p: ctx.data.update(
+            area=ctx.data.get("area", 512.0) / 2), duration=5.0)
+    system.tools.register("noop", lambda ctx, p: None, duration=1.0)
+    return system
+
+
+def make_da(system, script, initial_area=512.0, hi=100.0):
+    dot = DesignObjectType("Cell", attributes=[
+        AttributeDef("area", AttributeKind.FLOAT, required=False)])
+    spec = DesignSpecification([RangeFeature("area-limit", "area",
+                                             hi=hi)])
+    da = system.init_design(dot, spec, "d", script, "ws-1",
+                            initial_data={"area": initial_area})
+    system.start(da.da_id)
+    return da
+
+
+class TestGoalDrivenPolicy:
+    def test_iterates_until_final(self):
+        system = build_system()
+        script = Script(Iteration(
+            Sequence(DopStep("halve"), DaOpStep("Evaluate")),
+            max_rounds=10))
+        da = make_da(system, script)   # 512 -> 256 -> 128 -> 64
+        status = system.run(da.da_id,
+                            policy=GoalDrivenPolicy(system, da.da_id))
+        assert status.done
+        assert da.final_dovs
+        assert system.runtime(da.da_id).dm.executed_dops == 3
+
+    def test_custom_predicate(self):
+        system = build_system()
+        script = Script(Iteration(DopStep("halve"), max_rounds=10))
+        da = make_da(system, script)
+        policy = GoalDrivenPolicy(
+            system, da.da_id,
+            satisfied=lambda data: data.get("area", 1e9) < 300.0)
+        system.run(da.da_id, policy=policy)
+        assert system.runtime(da.da_id).dm.executed_dops == 1  # 256
+
+    def test_params_by_tool(self):
+        system = build_system()
+        seen = {}
+        system.tools.register(
+            "probe", lambda ctx, p: seen.update(p), duration=1.0)
+        script = Script(Sequence(DopStep("probe")))
+        da = make_da(system, script)
+        policy = GoalDrivenPolicy(system, da.da_id,
+                                  params_by_tool={"probe": {"k": 7}})
+        system.run(da.da_id, policy=policy)
+        assert seen["k"] == 7
+
+
+class TestSeededPolicy:
+    def test_deterministic_decisions(self):
+        system_a = build_system()
+        system_b = build_system()
+        script = Script(Sequence(
+            Alternative(DopStep("halve"), DopStep("noop")),
+            Iteration(DopStep("noop"), max_rounds=4),
+            Open(allowed_tools=("noop",)),
+        ))
+        results = []
+        for system in (system_a, system_b):
+            da = make_da(system, script)
+            system.run(da.da_id, policy=SeededPolicy(
+                seed=11, insertable_tools=("noop",)))
+            results.append(system.runtime(da.da_id).dm.executed_tools)
+        assert results[0] == results[1]
+
+    def test_different_seeds_can_diverge(self):
+        outcomes = set()
+        for seed in range(6):
+            system = build_system()
+            script = Script(Alternative(DopStep("halve"),
+                                        DopStep("noop")))
+            da = make_da(system, script)
+            system.run(da.da_id, policy=SeededPolicy(seed=seed))
+            outcomes.add(tuple(
+                system.runtime(da.da_id).dm.executed_tools))
+        assert len(outcomes) == 2  # both alternatives explored
+
+    def test_completes_scripts(self):
+        for seed in range(5):
+            system = build_system()
+            script = Script(Sequence(
+                Iteration(DopStep("noop"), max_rounds=3),
+                Open(allowed_tools=("noop",)),
+            ))
+            da = make_da(system, script)
+            status = system.run(da.da_id, policy=SeededPolicy(
+                seed=seed, insertable_tools=("noop",),
+                insert_probability=0.5))
+            assert status.done
+
+
+class TestScriptedPolicy:
+    def test_tape_replay(self):
+        system = build_system()
+        script = Script(Sequence(
+            Alternative(DopStep("halve"), DopStep("noop")),
+            Iteration(DopStep("noop"), max_rounds=3),
+        ))
+        da = make_da(system, script)
+        policy = ScriptedPolicy(alternatives=[1],
+                                loops=["again", "exit"])
+        system.run(da.da_id, policy=policy)
+        dm = system.runtime(da.da_id).dm
+        assert dm.executed_tools == ["noop", "noop", "noop"]
+        assert policy.exhausted
+
+    def test_defaults_after_exhaustion(self):
+        system = build_system()
+        script = Script(Sequence(
+            Alternative(DopStep("halve"), DopStep("noop")),
+            Alternative(DopStep("halve"), DopStep("noop")),
+        ))
+        da = make_da(system, script)
+        policy = ScriptedPolicy(alternatives=[1])  # only one decision
+        system.run(da.da_id, policy=policy)
+        dm = system.runtime(da.da_id).dm
+        # second alternative fell back to the default (path 0)
+        assert dm.executed_tools == ["noop", "halve"]

@@ -1,0 +1,83 @@
+"""Tests for the fan-in (integration) workload topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.models import all_models, concord_model, flat_acid_model
+from repro.workload.generator import (
+    Dependency,
+    SessionSpec,
+    integration_workload,
+)
+from repro.workload.simulator import TeamSimulator
+
+
+class TestIntegrationWorkload:
+    def test_structure(self):
+        workload = integration_workload(team_size=4, seed=1)
+        assert len(workload.sessions) == 5
+        integrator = workload.session("integrator")
+        assert len(integrator.dependencies) == 4
+        producers = {d.producer for d in integrator.dependencies}
+        assert producers == {f"designer-{i}" for i in range(4)}
+
+    def test_designers_independent(self):
+        workload = integration_workload(team_size=3, seed=2)
+        for i in range(3):
+            assert workload.session(f"designer-{i}").dependencies == []
+
+    def test_invalid_team_size(self):
+        with pytest.raises(ValueError):
+            integration_workload(0)
+
+    def test_deterministic(self):
+        a = integration_workload(4, seed=9)
+        b = integration_workload(4, seed=9)
+        assert [s.step_durations for s in a.sessions] == \
+               [s.step_durations for s in b.sessions]
+
+
+class TestFanInSimulation:
+    def test_all_models_complete(self):
+        workload = integration_workload(team_size=4, seed=3)
+        for model in all_models():
+            metrics = TeamSimulator(model, workload).run()
+            assert metrics.sessions["integrator"].end > 0
+
+    def test_concord_integrator_starts_before_producers_commit(self):
+        """The integrator consumes *preliminary* results: under
+        CONCORD it can proceed once the producers' pre-release step is
+        done, under flat ACID only after every producer commits."""
+        workload = integration_workload(team_size=5, seed=3)
+        concord = TeamSimulator(concord_model(), workload).run()
+        flat = TeamSimulator(flat_acid_model(), workload).run()
+        assert concord.sessions["integrator"].end \
+            < flat.sessions["integrator"].end
+        assert concord.makespan <= flat.makespan
+
+    def test_commit_visibility_waits_for_slowest(self):
+        workload = integration_workload(team_size=4, seed=5)
+        flat = TeamSimulator(flat_acid_model(), workload).run()
+        slowest_producer_end = max(
+            flat.sessions[f"designer-{i}"].end for i in range(4))
+        integrator = flat.sessions["integrator"]
+        # the integrator's dependent step cannot predate the slowest
+        # producer's commit
+        assert integrator.end >= slowest_producer_end
+
+
+class TestMultiDependencySemantics:
+    def test_dependencies_at(self):
+        spec = SessionSpec("s", [1.0, 2.0, 3.0], dependencies=[
+            Dependency("p1", 0, 1), Dependency("p2", 0, 1),
+            Dependency("p3", 0, 2)])
+        assert len(spec.dependencies_at(1)) == 2
+        assert len(spec.dependencies_at(2)) == 1
+        assert spec.dependencies_at(0) == []
+
+    def test_legacy_dependency_accessor(self):
+        spec = SessionSpec("s", [1.0], dependencies=[
+            Dependency("p1", 0, 0)])
+        assert spec.dependency.producer == "p1"
+        assert SessionSpec("t", [1.0]).dependency is None
