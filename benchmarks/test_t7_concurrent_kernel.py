@@ -1,0 +1,26 @@
+"""Benchmark T7 — concurrent DA execution on the unified kernel."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t7
+
+
+def test_t7_concurrent_kernel(benchmark):
+    result = benchmark.pedantic(run_t7, rounds=1, iterations=1)
+    report(result)
+    rows = {(r["team"], r["mode"]): r for r in result.rows}
+    for team in {r["team"] for r in result.rows}:
+        sequential = rows[(team, "sequential")]
+        concurrent = rows[(team, "concurrent")]
+        # interleaving wins, and the gap grows with the team size
+        assert concurrent["makespan"] < sequential["makespan"]
+        assert sequential["makespan"] >= \
+            concurrent["makespan"] * (team - 0.5)
+        # both paths reach identical final DA states
+        assert concurrent["states_match"]
+        crashed = rows[(team, f"concurrent+crash(ws-"
+                              f"{'ABCDEF'[team - 1]})")]
+        # the crash costs redone work + downtime, not a full restart
+        assert crashed["makespan"] < sequential["makespan"]
+        assert crashed["makespan"] >= concurrent["makespan"]
+        assert crashed["states_match"]

@@ -59,6 +59,7 @@ from repro.repository import (
     DesignDataRepository,
     DesignObjectType,
 )
+from repro.sim import Kernel
 from repro.te import ClientTM, DesignOperation, DopState, ServerTM
 from repro.util import ConcordError
 
@@ -85,6 +86,7 @@ __all__ = [
     "DopState",
     "DopStep",
     "Iteration",
+    "Kernel",
     "Open",
     "Parallel",
     "PredicateFeature",

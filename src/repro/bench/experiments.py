@@ -405,15 +405,74 @@ def run_t6(hierarchy_sizes: tuple[int, ...] = (5, 10, 20, 40)
                    ops_per_sec=round(operations / elapsed),
                    protocol_log_records=stats["protocol_log_records"],
                    delegations=stats["delegations"],
-                   persist_writes=system.server.stable.writes)
+                   persist_writes=system.server.stable.writes,
+                   copies_saved=system.server.stable.copies_saved)
     result.notes.append(
         "protocol log grows linearly in operations; per-op cost grows "
         "with hierarchy size because the CM persists the full "
-        "hierarchy state after every operation")
+        "hierarchy state after every operation; copies_saved counts "
+        "the deep copies stable storage skipped for immutable payloads")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T7 — concurrent execution on the unified kernel
+# ---------------------------------------------------------------------------
+
+def run_t7(team_sizes: tuple[int, ...] = (2, 3, 4),
+           crash: bool = True) -> ExperimentResult:
+    """Concurrent vs sequential execution of the real CM/DM/TM stack.
+
+    The workload experiments (T1) interleave *modelled* sessions; this
+    experiment interleaves the implemented stack itself: one sub-DA
+    per subcell, all live at once on the unified kernel, cooperation
+    messages auto-dispatched on delivery.  Expected shape: the
+    concurrent makespan approaches the longest single sub-DA (the
+    sequential makespan divides by roughly the team size), identical
+    final states on both paths, and — with a kernel-injected
+    workstation crash mid-step — a makespan penalty bounded by the
+    redone work, not a restart from scratch.
+    """
+    from repro.bench.scenarios import concurrent_delegation_scenario
+
+    result = ExperimentResult(
+        "T7", "Concurrent DA execution on the unified kernel")
+    alphabet = ("A", "B", "C", "D", "E", "F")
+    for team in team_sizes:
+        subcells = alphabet[:team]
+        __, seq = concurrent_delegation_scenario(subcells,
+                                                 concurrent=False)
+        __, conc = concurrent_delegation_scenario(subcells)
+        states_match = seq.final_states[seq.top_da] \
+            == conc.final_states[conc.top_da] \
+            and all(state == "terminated"
+                    for da, state in conc.final_states.items()
+                    if da != conc.top_da)
+        result.add(team=team, mode="sequential",
+                   makespan=round(seq.makespan, 1), events=seq.events,
+                   states_match=states_match)
+        result.add(team=team, mode="concurrent",
+                   makespan=round(conc.makespan, 1), events=conc.events,
+                   states_match=states_match)
+        if crash:
+            node = f"ws-{subcells[-1]}"
+            __, crashed = concurrent_delegation_scenario(
+                subcells, crash=(node, 15.0, 5.0))
+            result.add(team=team, mode=f"concurrent+crash({node})",
+                       makespan=round(crashed.makespan, 1),
+                       events=crashed.events,
+                       states_match=all(
+                           state == "terminated"
+                           for da, state in crashed.final_states.items()
+                           if da != crashed.top_da))
+    result.notes.append(
+        "expected shape: concurrent makespan ~= longest sub-DA, "
+        "sequential ~= team * sub-DA; crash adds only the redone work "
+        "since the last recovery point plus the downtime")
     return result
 
 
 ALL_EXPERIMENTS = {
     "T1": run_t1, "T2": run_t2, "T3": run_t3,
-    "T4": run_t4, "T5": run_t5, "T6": run_t6,
+    "T4": run_t4, "T5": run_t5, "T6": run_t6, "T7": run_t7,
 }

@@ -26,11 +26,14 @@ from repro.vlsi.tools import register_vlsi_tools, vlsi_dots
 
 def make_vlsi_system(workstations: tuple[str, ...] = ("ws-1",),
                      trace: bool = True,
-                     recovery_interval: float = 30.0) -> ConcordSystem:
+                     recovery_interval: float = 30.0,
+                     jitter: float = 0.0,
+                     seed: int = 0) -> ConcordSystem:
     """A CONCORD installation with the VLSI domain installed."""
     system = ConcordSystem(
         trace=trace,
-        recovery_policy=RecoveryPointPolicy(interval=recovery_interval))
+        recovery_policy=RecoveryPointPolicy(interval=recovery_interval),
+        jitter=jitter, seed=seed)
     for name in workstations:
         system.add_workstation(name)
     register_vlsi_tools(system.tools)
@@ -225,6 +228,119 @@ def recursive_planning_scenario(
             report.devolved[da.da_id] = inherited
 
     plan_cell(hierarchy.root, None, None, None, 0)
+    return system, report
+
+
+@dataclass
+class ConcurrentReport:
+    """Chronicle of a concurrent delegation run on the shared kernel."""
+
+    top_da: str = ""
+    #: subcell -> sub-DA id
+    sub_das: dict[str, str] = field(default_factory=dict)
+    #: sub-DA id -> DOVs devolved on its (rule-driven) termination
+    devolved: dict[str, list[str]] = field(default_factory=dict)
+    #: DA id -> final state value
+    final_states: dict[str, str] = field(default_factory=dict)
+    #: simulated end-to-end time of the delegated phase
+    makespan: float = 0.0
+    #: kernel events executed during the delegated phase
+    events: int = 0
+    #: deterministic kernel fingerprint (concurrent runs only)
+    signature: tuple[Any, ...] = ()
+
+
+def concurrent_delegation_scenario(
+        subcells: tuple[str, ...] = ("A", "B", "C"),
+        concurrent: bool = True,
+        crash: tuple[str, float, float] | None = None,
+        jitter: float = 0.0,
+        seed: int = 0,
+        trace: bool = False) -> tuple[ConcordSystem, ConcurrentReport]:
+    """Delegated subcell planning with every sub-DA live at once.
+
+    The top-level DA plans cell 0, then delegates one sub-DA per
+    subcell.  With ``concurrent=True`` the sub-DAs execute on the
+    shared kernel — tool steps interleave on one clock, the
+    Ready_To_Commit messages are auto-dispatched to the top DM whose
+    ECA rule terminates each sub-DA the instant its message arrives
+    (devolving the final DOVs).  With ``concurrent=False`` the same
+    scenario runs sequentially (``run`` + ``pump_events``) — the
+    reference path concurrency must be equivalent to.  *crash* arms a
+    kernel-injected ``(node, at, restart_after)`` failure.
+    """
+    from repro.dc.rules import EcaRule
+
+    stations = ("ws-0",) + tuple(f"ws-{cell}" for cell in subcells)
+    system = make_vlsi_system(stations, trace=trace, jitter=jitter,
+                              seed=seed)
+    report = ConcurrentReport()
+    dots = vlsi_dots()
+
+    top_script = Script(Sequence(
+        DopStep("structure_synthesis"),
+        DopStep("shape_function_generator"),
+        DopStep("pad_frame_editor",
+                params={"max_width": 500.0, "max_height": 500.0}),
+        DopStep("chip_planner"),
+        DaOpStep("Evaluate"),
+    ), name="plan-cell-0")
+    top = system.init_design(
+        dots["Chip"], chip_spec(500.0, 500.0), "lead", top_script, "ws-0",
+        initial_data={"cell": "cell-0", "level": "chip",
+                      "behavior": {"operations": list(subcells)}})
+    report.top_da = top.da_id
+    system.start(top.da_id)
+    system.run(top.da_id)
+    plan_dov = system.repository.graph(top.da_id).leaves()[0]
+
+    for cell in subcells:
+        script = Script(Sequence(
+            DopStep("subcell_seed",
+                    params={"subcell": f"cell-0/{cell}",
+                            "operations": [f"{cell.lower()}-op-{i}"
+                                           for i in range(3)]}),
+            DopStep("structure_synthesis"),
+            DopStep("shape_function_generator"),
+            DopStep("chip_planner"),
+            DaOpStep("Evaluate"),
+            DaOpStep("Sub_DA_Ready_To_Commit"),
+        ), name=f"plan-{cell}")
+        sub = system.create_sub_da(
+            top.da_id, dots["Module"], chip_spec(500.0, 500.0),
+            f"designer-{cell}", script, f"ws-{cell}",
+            initial_dov=plan_dov.dov_id)
+        report.sub_das[cell] = sub.da_id
+        system.start(sub.da_id)
+
+    # the top DM terminates each sub-DA as its Ready_To_Commit arrives
+    top_dm = system.runtime(top.da_id).dm
+    top_dm.rules.register(EcaRule(
+        "auto-terminate", "Ready_To_Commit",
+        lambda env: True,
+        lambda env: report.devolved.__setitem__(
+            env["sender"],
+            system.cm.terminate_sub_da(top.da_id, env["sender"]))))
+
+    phase_start = system.clock.now
+    events_before = system.kernel.executed
+    if crash is not None:
+        # crash instants are relative to the delegated phase's start
+        node, at, restart_after = crash
+        system.schedule_crash(node, at=phase_start + at,
+                              restart_after=restart_after)
+    sub_ids = list(report.sub_das.values())
+    if concurrent:
+        system.run_concurrent(sub_ids)
+        report.signature = system.kernel.trace_signature()
+    else:
+        for sub_id in sub_ids:
+            system.run(sub_id)
+            system.pump_events(top.da_id)
+    report.makespan = system.clock.now - phase_start
+    report.events = system.kernel.executed - events_before
+    for da_id in [top.da_id, *sub_ids]:
+        report.final_states[da_id] = system.cm.da(da_id).state.value
     return system, report
 
 

@@ -29,7 +29,7 @@ Implemented responsibilities:
 from __future__ import annotations
 
 import copy
-from typing import Any, Protocol
+from typing import Any, Callable, Protocol
 
 from repro.core.activity import DescriptionVector, DesignActivity
 from repro.core.features import DesignSpecification, QualityState
@@ -96,6 +96,9 @@ class CooperationManager:
         self._visibility: dict[str, set[str]] = {}
         self._inboxes: dict[str, list[Message]] = {}
         self._dm_hooks: dict[str, DmHook] = {}
+        #: optional delivery interceptor; returning True consumes the
+        #: message instead of queueing it (the auto-dispatch path)
+        self.on_deliver: Callable[[str, Message], bool] | None = None
 
         #: forced protocol log — basis of T6's log-growth measurement
         self.log = WriteAheadLog("cm-protocol")
@@ -125,8 +128,29 @@ class CooperationManager:
 
     def _send(self, kind: str, sender: str, recipient: str,
               **payload: Any) -> Message:
+        """Send a cooperation message to *recipient*'s workstation.
+
+        Delivery goes through the network's queued asynchronous path:
+        under a running kernel the message arrives after the modelled
+        transport delay (and is parked across a crash of the
+        recipient's workstation); otherwise it is handed over
+        synchronously.  On arrival the message lands in the inbox
+        unless an :attr:`on_deliver` hook consumes it — the system
+        installs one to auto-dispatch messages to the DM rule engines
+        during concurrent runs.
+        """
         message = Message(kind, sender, recipient, payload, self.clock.now)
-        self._inboxes.setdefault(recipient, []).append(message)
+        da = self._das.get(recipient)
+        destination = da.workstation if da is not None else self.server_node
+
+        def deliver() -> None:
+            hook = self.on_deliver
+            if hook is not None and hook(recipient, message):
+                return
+            self._inboxes.setdefault(recipient, []).append(message)
+
+        self.network.post(self.server_node, destination, deliver,
+                          label=f"msg:{kind}:{sender}->{recipient}")
         return message
 
     def register_dm(self, da_id: str, hook: DmHook) -> None:

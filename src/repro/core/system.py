@@ -30,6 +30,7 @@ from repro.dc.design_manager import (
     DesignManager,
     DesignerPolicy,
     DmStatus,
+    PendingDop,
     ToolRegistry,
 )
 from repro.dc.rules import RuleEngine
@@ -40,6 +41,7 @@ from repro.net.two_phase_commit import CommitProtocol
 from repro.repository.repository import DesignDataRepository
 from repro.repository.schema import DesignObjectType
 from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel
 from repro.te.locks import LockManager
 from repro.te.recovery import RecoveryPointPolicy
 from repro.te.transaction_manager import (
@@ -47,7 +49,7 @@ from repro.te.transaction_manager import (
     ServerTM,
     register_server_endpoints,
 )
-from repro.util.errors import ConcordError
+from repro.util.errors import ConcordError, NodeDownError, RpcError
 from repro.util.ids import IdGenerator
 from repro.util.trace import EventTrace
 
@@ -143,11 +145,17 @@ class ConcordSystem:
                  commit_protocol: CommitProtocol =
                  CommitProtocol.PRESUMED_ABORT,
                  lan_latency: float = 0.010,
-                 repository: Any = None) -> None:
+                 repository: Any = None,
+                 jitter: float = 0.0,
+                 seed: int = 0) -> None:
         self.clock = SimClock()
         self.ids = IdGenerator()
         self.trace = EventTrace(enabled=trace)
-        self.network = Network(self.clock, lan_latency=lan_latency)
+        #: the unified discrete-event kernel every layer schedules on
+        self.kernel = Kernel(self.clock)
+        self.network = Network(self.clock, lan_latency=lan_latency,
+                               jitter=jitter, seed=seed)
+        self.network.attach_kernel(self.kernel)
         self.server: Node = self.network.add_server()
         self.rpc = TransactionalRpc(self.network)
         # any object with the DesignDataRepository interface works here,
@@ -171,6 +179,12 @@ class ConcordSystem:
         self._client_tms: dict[str, ClientTM] = {}
         self._runtimes: dict[str, DaRuntime] = {}
         self.constraints = DomainConstraintSet()
+        #: installed by :meth:`run_concurrent` — called with a node id
+        #: after its restart so the driver can resume the DAs on it
+        self._concurrent_resume: Any = None
+        #: per-DA reports of the most recent workstation recovery (the
+        #: kernel restart path has no caller to hand them to)
+        self.last_recovery_reports: dict[str, Any] = {}
 
         # server crash/restart wiring for the repository
         self.server.on_crash.append(lambda: self.repository.crash())
@@ -267,7 +281,27 @@ class ConcordSystem:
         "disagree": "Disagree",
     }
 
-    def pump_events(self, da_id: str | None = None) -> int:
+    def _dispatch_message(self, recipient: str, message: Any) -> int:
+        """Dispatch one CM message to the recipient DM's rule engine.
+
+        Returns the number of rule firings (0 when the recipient has
+        no runtime — the message is still considered delivered).
+        """
+        runtime = self._runtimes.get(recipient)
+        if runtime is None:
+            return 0
+        event = self.EVENT_NAMES.get(message.kind, message.kind)
+        env = {
+            "system": self,
+            "da_id": recipient,
+            "sender": message.sender,
+            "message": message,
+            **message.payload,
+        }
+        return len(runtime.dm.rules.dispatch(event, env))
+
+    def pump_events(self, da_id: str | None = None,
+                    max_rounds: int = 25) -> int:
         """Deliver pending CM messages to the DMs' ECA rule engines.
 
         "Cooperation relationships among DAs lead to asynchronously
@@ -275,27 +309,202 @@ class ConcordSystem:
         receiving DA to react or reply" (Sect.4.2).  Each pending
         message is consumed and dispatched as an (event, env) pair to
         the recipient's rule engine; the env carries the payload, the
-        sender and handles to the system.  Returns the number of rule
-        firings.
+        sender and handles to the system.
+
+        This is the sequential compat shim over the kernel's
+        auto-dispatch (see :meth:`run_concurrent`); it drains to a
+        fixed point: messages produced *while* dispatching rule
+        firings are delivered in follow-up rounds, bounded by
+        *max_rounds*.  Returns the total number of rule firings.
         """
-        recipients = [da_id] if da_id is not None else \
-            [d.da_id for d in self.cm.das()]
         firings = 0
-        for recipient in recipients:
-            if recipient not in self._runtimes:
-                continue
-            dm = self._runtimes[recipient].dm
-            for message in self.cm.pop_messages(recipient):
-                event = self.EVENT_NAMES.get(message.kind, message.kind)
-                env = {
-                    "system": self,
-                    "da_id": recipient,
-                    "sender": message.sender,
-                    "message": message,
-                    **message.payload,
-                }
-                firings += len(dm.rules.dispatch(event, env))
+        for _ in range(max_rounds):
+            recipients = [da_id] if da_id is not None else \
+                [d.da_id for d in self.cm.das()]
+            consumed = 0
+            for recipient in recipients:
+                if recipient not in self._runtimes:
+                    continue
+                for message in self.cm.pop_messages(recipient):
+                    consumed += 1
+                    firings += self._dispatch_message(recipient, message)
+            if consumed == 0:
+                return firings
         return firings
+
+    # -- concurrent execution on the shared kernel ------------------------------------
+
+    def run_concurrent(self, da_ids: list[str] | None = None,
+                       policy: DesignerPolicy | None = None,
+                       max_steps: int = 10_000,
+                       deadline: float | None = None,
+                       max_events: int = 1_000_000
+                       ) -> dict[str, DmStatus]:
+        """Execute several DAs concurrently on the shared kernel.
+
+        This is the concurrent counterpart of :meth:`run`: every DM
+        work-flow action becomes a timed kernel event.  Instantaneous
+        actions (script decisions, embedded DA operations) execute at
+        the current instant; a DOP occupies the real span ``[start,
+        start + tool duration]`` of simulated time, so the tool steps
+        of different DAs genuinely interleave on the shared clock.
+        CM cooperation messages are delivered asynchronously through
+        the network (latency + jitter) and auto-dispatched to the
+        recipient DM's rule engine on arrival — no manual
+        :meth:`pump_events` choreography.  Crashes armed with
+        :meth:`schedule_crash` interrupt steps mid-flight; after the
+        restart the affected DMs run forward recovery and the driver
+        resumes them (re-finishing an interrupted DOP from its
+        recovery point).
+
+        Runs until quiescence (every DA done/stopped, no message in
+        flight) or until *deadline*; returns the DM statuses.
+        """
+        if da_ids is None:
+            da_ids = [d.da_id for d in self.cm.das()
+                      if d.state.value != "terminated"]
+        da_ids = [d for d in da_ids if d in self._runtimes]
+        kernel = self.kernel
+        budgets = {da_id: max_steps for da_id in da_ids}
+        #: per-DA count of queued drive/finish continuations (a crash
+        #: can leave a stale finish event queued next to the recovery's
+        #: replacement, so a boolean is not enough)
+        live: dict[str, int] = {}
+        #: (da_id, pending) pairs waiting for the server to come back;
+        #: a parked DA keeps its `live` mark until the retry runs
+        server_parked: list[tuple[str, PendingDop | None]] = []
+
+        def mark(da_id: str) -> None:
+            live[da_id] = live.get(da_id, 0) + 1
+
+        def unmark(da_id: str) -> None:
+            live[da_id] = live.get(da_id, 0) - 1
+
+        def schedule(da_id: str, delay: float = 0.0) -> None:
+            mark(da_id)
+            kernel.after(delay, lambda: drive(da_id),
+                         label=f"da-step:{da_id}")
+
+        def schedule_finish(da_id: str, pending: PendingDop,
+                            delay: float) -> None:
+            mark(da_id)
+            kernel.after(delay, lambda: finish(da_id, pending),
+                         label=f"dop-finish:{da_id}:{pending.step.tool}")
+
+        def drive(da_id: str) -> None:
+            unmark(da_id)
+            dm = self._runtimes[da_id].dm
+            if not dm.node.up or budgets[da_id] <= 0:
+                return  # a restart (or nothing) resumes this DA
+            budgets[da_id] -= 1
+            try:
+                outcome = dm.start_step(policy)
+            except (NodeDownError, RpcError):
+                # the server is down: drop the half-begun DOP (nothing
+                # reached the server yet) and retry the whole step once
+                # the server is back
+                dm.abandon_start()
+                mark(da_id)
+                server_parked.append((da_id, None))
+                return
+            if isinstance(outcome, PendingDop):
+                schedule_finish(da_id, outcome, outcome.remaining)
+            elif outcome:
+                schedule(da_id)
+
+        def finish(da_id: str, pending: PendingDop) -> None:
+            unmark(da_id)
+            dm = self._runtimes[da_id].dm
+            if not dm.node.up:
+                return  # crashed mid-step; recovery reschedules
+            try:
+                progressed = dm.finish_step(pending, policy,
+                                            advance_clock=False)
+            except (NodeDownError, RpcError):
+                # tool work is done, the checkin needs the server back
+                mark(da_id)
+                server_parked.append((da_id, pending))
+                return
+            if progressed:
+                schedule(da_id)
+
+        def resume_node(name: str) -> None:
+            """Restart hook: resume DAs parked on the restarted node."""
+            if name == self.server.node_id:
+                parked, server_parked[:] = list(server_parked), []
+                for da_id, pending in parked:
+                    # the park kept its mark; schedule the retry
+                    # directly so the count stays balanced
+                    if pending is not None:
+                        kernel.after(
+                            0.0, lambda d=da_id, p=pending: finish(d, p),
+                            label=f"dop-finish:{da_id}:"
+                                  f"{pending.step.tool}")
+                    else:
+                        kernel.after(0.0,
+                                     lambda d=da_id: drive(d),
+                                     label=f"da-step:{da_id}")
+                return
+            for da_id in da_ids:
+                runtime = self._runtimes[da_id]
+                if runtime.da.workstation != name \
+                        or runtime.da.state.value == "terminated":
+                    continue
+                pending = runtime.dm.resume_pending()
+                if pending is not None:
+                    schedule_finish(da_id, pending, pending.remaining)
+                else:
+                    schedule(da_id)
+
+        def kick(da_id: str) -> None:
+            """(Re-)animate a DA whose state a dispatched message may
+            have changed (restart, resumed negotiation, ...)."""
+            if live.get(da_id, 0) <= 0 and budgets.get(da_id, 0) > 0 \
+                    and self._runtimes[da_id].dm.node.up:
+                schedule(da_id)
+
+        def auto_dispatch(recipient: str, message: Any) -> bool:
+            if recipient not in self._runtimes:
+                return False
+            self._dispatch_message(recipient, message)
+            # any DM may have become enabled (agree/modify/withdraw...)
+            for da_id in da_ids:
+                kick(da_id)
+            return True
+
+        previous_deliver = self.cm.on_deliver
+        previous_resume = self._concurrent_resume
+        self.cm.on_deliver = auto_dispatch
+        self._concurrent_resume = resume_node
+        try:
+            for da_id in da_ids:
+                schedule(da_id)
+            kernel.run_until_quiescent(max_events=max_events,
+                                       deadline=deadline)
+        finally:
+            self.cm.on_deliver = previous_deliver
+            self._concurrent_resume = previous_resume
+        return {da_id: self._runtimes[da_id].dm.status()
+                for da_id in da_ids}
+
+    def schedule_crash(self, node_id: str, at: float,
+                       restart_after: float | None = 1.0) -> None:
+        """Arm a kernel-injected crash of a workstation or the server.
+
+        The crash fires at simulated instant *at* (interrupting any
+        DOP in flight there); the restart — *restart_after* time units
+        later, unless None — runs the component recovery chain
+        (repository redo + CM reload for the server, DM forward
+        recovery for a workstation) exactly like the manual
+        :meth:`restart_workstation` / :meth:`restart_server` path.
+        """
+        if node_id == self.server.node_id:
+            restart_action: Any = self.restart_server
+        else:
+            restart_action = lambda: self.restart_workstation(node_id)
+        self.kernel.crash_at(self.network, node_id, at,
+                             restart_after=restart_after,
+                             restart_action=restart_action)
 
     # -- failure injection -----------------------------------------------------------
 
@@ -314,6 +523,9 @@ class ConcordSystem:
             if runtime.da.workstation == name \
                     and runtime.da.state.value != "terminated":
                 reports[da_id] = runtime.dm.recover()
+        self.last_recovery_reports = reports
+        if self._concurrent_resume is not None:
+            self._concurrent_resume(name)
         return reports
 
     def crash_server(self) -> None:
@@ -324,6 +536,8 @@ class ConcordSystem:
         """Restart the server (repository redo + CM state reload run via
         the registered restart hooks)."""
         self.network.restart_node(self.server.node_id)
+        if self._concurrent_resume is not None:
+            self._concurrent_resume(self.server.node_id)
 
     # -- reporting ----------------------------------------------------------------------
 

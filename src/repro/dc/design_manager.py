@@ -157,6 +157,29 @@ class DmStatus:
     pending_actions: list[str] = field(default_factory=list)
 
 
+@dataclass
+class PendingDop:
+    """A DOP started under the concurrent kernel, awaiting its finish.
+
+    :meth:`DesignManager.start_step` performs Begin-of-DOP and the
+    checkouts at the start instant and hands this descriptor to the
+    driver, which schedules :meth:`DesignManager.finish_step` at
+    ``start + remaining`` — the tool's processing occupies a real span
+    of simulated time during which other DAs' events interleave.
+    """
+
+    dop: DesignOperation
+    action: EnabledAction
+    step: DopStep
+    params: dict[str, Any]
+    #: full tool duration of the step
+    duration: float
+    #: work still to apply (smaller than *duration* after a recovery)
+    remaining: float
+    #: set once the tool work/mutation was applied (guards re-checkin)
+    worked: bool = False
+
+
 class DesignManager:
     """Work-flow executor for one DA on one workstation."""
 
@@ -232,6 +255,25 @@ class DesignManager:
         Returns False when the script is done, the DM is stopped
         (designer attention required), or no action is enabled.
         """
+        outcome = self.start_step(policy)
+        if isinstance(outcome, PendingDop):
+            # sequential semantics: the tool runs to completion in-line,
+            # advancing the shared clock by its duration
+            return self.finish_step(outcome, policy, advance_clock=True)
+        return outcome
+
+    def start_step(self, policy: DesignerPolicy | None = None
+                   ) -> "PendingDop | bool":
+        """Begin one work-flow action (the concurrent-mode step).
+
+        Instantaneous actions (decisions, embedded DA operations) run
+        to completion and return True.  A DOP is only *started* —
+        Begin-of-DOP, durable start log, checkouts — and its
+        :class:`PendingDop` is returned; the caller owns scheduling
+        :meth:`finish_step` once the tool's duration has elapsed.
+        Returns False when nothing is enabled (done / stopped / a
+        domain constraint rejected the start).
+        """
         if self.stopped or self.cursor.is_done():
             return False
         policy = policy or DesignerPolicy()
@@ -243,7 +285,8 @@ class DesignManager:
 
         if action.kind is ActionKind.DOP:
             assert isinstance(action.node, DopStep)
-            return self._execute_dop(action, action.node, policy)
+            pending = self._start_dop(action, action.node, policy)
+            return pending if pending is not None else False
         if action.kind is ActionKind.DA_OP:
             assert isinstance(action.node, DaOpStep)
             result = self.binding.da_operation(action.node.operation,
@@ -297,8 +340,9 @@ class DesignManager:
 
     # -- DOP execution -----------------------------------------------------------
 
-    def _execute_dop(self, action: EnabledAction, step: DopStep,
-                     policy: DesignerPolicy) -> bool:
+    def _start_dop(self, action: EnabledAction, step: DopStep,
+                   policy: DesignerPolicy) -> PendingDop | None:
+        """Begin-of-DOP + checkouts; returns None on constraint reject."""
         # domain admission: even Open-segment insertions obey the rules
         try:
             self.constraints.admit(self.executed_tools, step.tool)
@@ -306,7 +350,7 @@ class DesignManager:
             self.stopped = True
             self.stop_reason = str(exc)
             self._record("constraint_rejected", step.tool, error=str(exc))
-            return False
+            return None
 
         params = policy.dop_params(step)
         inputs = self.binding.pick_inputs(step)
@@ -330,16 +374,92 @@ class DesignManager:
                             {"dop": dop.dop_id, "dov": dov_id}, force=True)
 
         duration = step.duration or self.tools.duration(step.tool)
-        self.client_tm.work(
-            dop, duration,
-            mutate=lambda ctx: self.tools.run(step.tool, ctx, params))
+        return PendingDop(dop, action, step, params, duration, duration)
+
+    def finish_step(self, pending: PendingDop,
+                    policy: DesignerPolicy | None = None,
+                    advance_clock: bool = False) -> bool:
+        """Complete a started DOP: tool work, checkin, End-of-DOP.
+
+        Under the concurrent kernel this runs as its own event at the
+        DOP's finish instant (``advance_clock=False`` — the kernel
+        already advanced the shared clock); the sequential :meth:`step`
+        calls it in-line with ``advance_clock=True``.  Returns False
+        when the DOP no longer exists on this DM — its workstation
+        crashed between start and finish, and recovery owns it now.
+        """
+        policy = policy or DesignerPolicy()
+        dop, step = pending.dop, pending.step
+        if self._in_flight is not dop \
+                or dop.dop_id not in {d.dop_id for d
+                                      in self.client_tm.active_dops()}:
+            return False
+        if not pending.worked:
+            self.client_tm.work(
+                dop, pending.remaining,
+                mutate=lambda ctx: self.tools.run(step.tool, ctx,
+                                                  pending.params),
+                advance_clock=advance_clock)
+            pending.worked = True
 
         result = self.client_tm.checkin(dop, self.binding.dot_name)
         if result.success:
-            self._finish_dop(dop, action, step, result)
+            self._finish_dop(dop, pending.action, step, result)
             return True
-        return self._handle_checkin_failure(dop, action, step, result,
-                                            policy)
+        return self._handle_checkin_failure(dop, pending.action, step,
+                                            result, policy)
+
+    def abandon_start(self) -> None:
+        """Discard a DOP whose start could not complete.
+
+        Used by the concurrent driver when the server goes down
+        between Begin-of-DOP and the first checkout: the half-begun
+        DOP is dropped locally and a closing log record is written so
+        recovery never mistakes it for in-flight work; the retried
+        step begins a fresh DOP.  No-op without an in-flight DOP.
+        """
+        dop = self._in_flight
+        if dop is None:
+            return
+        self.client_tm.drop_dop(dop)
+        self._in_flight = None
+        self.log.append(LogRecordKind.DOP_FINISH, {
+            "dop": dop.dop_id, "token": "", "tool": dop.tool,
+            "outcome": "abandoned",
+        }, force=True)
+        self._record("dop_abandoned", dop.dop_id, tool=dop.tool)
+
+    def resume_pending(self) -> PendingDop | None:
+        """Rebuild the pending-completion descriptor after a recovery.
+
+        :meth:`recover` resumes an in-flight DOP from its recovery
+        point; under the concurrent kernel the driver then needs the
+        start-time parameters back to reschedule the finish.  They are
+        reconstructed from the durable DOP_START record (its script
+        token is still enabled — the position only fires at finish).
+        ``remaining`` is the tool duration minus the work that
+        survived in the recovery point.
+        """
+        dop = self._in_flight
+        if dop is None:
+            return None
+        finished = {r.payload["dop"] for r in
+                    self.log.stable_records(LogRecordKind.DOP_FINISH)}
+        starts = [r.payload for r in
+                  self.log.stable_records(LogRecordKind.DOP_START)
+                  if r.payload["dop"] not in finished]
+        if not starts:
+            return None
+        payload = starts[-1]
+        action = next((a for a in self.cursor.enabled()
+                       if a.token == payload["token"]), None)
+        if action is None or not isinstance(action.node, DopStep):
+            return None
+        step = action.node
+        duration = step.duration or self.tools.duration(step.tool)
+        remaining = max(0.0, duration - dop.context.work_done)
+        return PendingDop(dop, action, step, dict(payload["params"]),
+                          duration, remaining)
 
     def _finish_dop(self, dop: DesignOperation, action: EnabledAction,
                     step: DopStep, result: CheckinResult) -> None:

@@ -19,10 +19,14 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.clock import SimClock
 from repro.util.errors import NetworkError, NodeDownError
+from repro.util.rng import SeededRng
+
+if TYPE_CHECKING:  # avoid the net <-> sim package-init cycle
+    from repro.sim.kernel import Kernel
 
 
 class NodeKind(str, Enum):
@@ -32,28 +36,58 @@ class NodeKind(str, Enum):
     SERVER = "server"
 
 
+_IMMUTABLE_SCALARS = (str, int, float, bool, bytes, type(None))
+
+
+def _is_immutable(value: Any, _depth: int = 0) -> bool:
+    """True when *value* cannot be mutated through any reference.
+
+    Covers the scalar types plus tuples/frozensets of immutables (to a
+    small nesting depth — deeper structures just take the copy).
+    """
+    if type(value) in _IMMUTABLE_SCALARS:
+        # exact types only: subclasses (str-enums, ...) take the copy
+        return True
+    if _depth < 4 and type(value) in (tuple, frozenset):
+        return all(_is_immutable(item, _depth + 1) for item in value)
+    return False
+
+
 class StableStorage:
     """Crash-surviving key/value storage local to one node.
 
     Values are deep-copied on write and read so that components cannot
     accidentally keep live references to "persistent" state — exactly
-    the bug class crash recovery must be robust against.
+    the bug class crash recovery must be robust against.  Immutable
+    payloads (strings, numbers, tuples of immutables) cannot leak a
+    live reference, so they skip the copy on both paths;
+    :attr:`copies_saved` counts the skips (surfaced by the benchmarks).
     """
 
     def __init__(self) -> None:
         self._data: dict[str, Any] = {}
         self.writes = 0
+        #: deep copies skipped because the payload was immutable
+        self.copies_saved = 0
 
     def put(self, key: str, value: Any) -> None:
         """Durably store *value* under *key*."""
-        self._data[key] = copy.deepcopy(value)
+        if _is_immutable(value):
+            self._data[key] = value
+            self.copies_saved += 1
+        else:
+            self._data[key] = copy.deepcopy(value)
         self.writes += 1
 
     def get(self, key: str, default: Any = None) -> Any:
         """Read back a durable value (a private copy)."""
         if key not in self._data:
             return default
-        return copy.deepcopy(self._data[key])
+        value = self._data[key]
+        if _is_immutable(value):
+            self.copies_saved += 1
+            return value
+        return copy.deepcopy(value)
 
     def delete(self, key: str) -> bool:
         """Remove a key; True when it existed."""
@@ -106,17 +140,41 @@ class Node:
 
 
 class Network:
-    """Synchronous message transport between registered nodes."""
+    """Message transport between registered nodes.
+
+    Two delivery modes share one cost model:
+
+    * **synchronous handoff** (:meth:`send`) — the classic
+      request/response accounting used by the RPC and 2PC layers;
+    * **queued asynchronous delivery** (:meth:`post`) — when a
+      :class:`~repro.sim.kernel.Kernel` is attached *and running*, a
+      posted message is scheduled as a kernel event at ``now +
+      per-hop cost + seeded jitter``; deliveries to a crashed node are
+      parked and flushed when it restarts.  Outside a kernel run,
+      :meth:`post` degrades to immediate handoff, so sequential
+      callers keep their synchronous semantics.
+    """
 
     def __init__(self, clock: SimClock | None = None,
                  lan_latency: float = 0.010,
-                 local_latency: float = 0.001) -> None:
+                 local_latency: float = 0.001,
+                 jitter: float = 0.0,
+                 seed: int = 0) -> None:
         self.clock = clock or SimClock()
         self.lan_latency = lan_latency
         self.local_latency = local_latency
+        #: upper bound of the uniform per-message delivery jitter
+        self.jitter = jitter
+        self._rng = SeededRng(seed)
+        #: the shared execution kernel, when one is attached
+        self.kernel: "Kernel | None" = None
         self._nodes: dict[str, Node] = {}
+        #: deliveries addressed to a crashed node, flushed on restart
+        self._parked: dict[str, list[tuple[str, Callable[[], None]]]] = {}
         #: total messages sent (requests and responses each count once)
         self.messages_sent = 0
+        #: asynchronous messages actually delivered
+        self.messages_delivered = 0
         #: accumulated transport latency (simulated time units)
         self.total_latency = 0.0
 
@@ -151,6 +209,18 @@ class Network:
             return list(self._nodes.values())
         return [n for n in self._nodes.values() if n.kind is kind]
 
+    # -- kernel attachment -------------------------------------------------------
+
+    def attach_kernel(self, kernel: "Kernel") -> "Network":
+        """Schedule asynchronous deliveries on *kernel* from now on."""
+        self.kernel = kernel
+        return self
+
+    @property
+    def async_active(self) -> bool:
+        """True while posted messages go through the kernel queue."""
+        return self.kernel is not None and self.kernel.running
+
     # -- transport --------------------------------------------------------------
 
     def hop_latency(self, src: str, dst: str) -> float:
@@ -175,6 +245,53 @@ class Network:
         self.total_latency += latency
         return latency
 
+    def delivery_delay(self, src: str, dst: str) -> float:
+        """Per-hop cost plus the seeded uniform jitter of one message."""
+        delay = self.hop_latency(src, dst)
+        if self.jitter > 0.0:
+            delay += self._rng.uniform(0.0, self.jitter)
+        return delay
+
+    def post(self, src: str, dst: str, deliver: Callable[[], None],
+             label: str = "") -> float:
+        """Queued asynchronous delivery of one message src -> dst.
+
+        While the attached kernel is running, *deliver* is scheduled as
+        a kernel event after the latency-modelled delay; when *dst* is
+        down at delivery time the message is parked and flushed on the
+        node's restart ("reliable communication protocols ... insulate
+        the cooperation protocols from ... workstation crashes",
+        Sect.5.4).  Outside a kernel run the message is handed over
+        synchronously — the sequential compatibility path.  Returns
+        the transport delay accounted for this message.
+        """
+        label = label or f"deliver:{src}->{dst}"
+        self.messages_sent += 1
+        if not self.async_active:
+            # per-hop cost is accounted either way so sequential and
+            # concurrent runs report comparable transport metrics
+            # (jitter only applies to genuinely queued deliveries)
+            latency = self.hop_latency(src, dst)
+            self.total_latency += latency
+            deliver()
+            self.messages_delivered += 1
+            return latency
+        delay = self.delivery_delay(src, dst)
+        self.total_latency += delay
+        assert self.kernel is not None
+        self.kernel.after(delay, lambda: self._deliver(dst, deliver, label),
+                          label=label)
+        return delay
+
+    def _deliver(self, dst: str, deliver: Callable[[], None],
+                 label: str) -> None:
+        node = self.node(dst)
+        if not node.up:
+            self._parked.setdefault(dst, []).append((label, deliver))
+            return
+        self.messages_delivered += 1
+        deliver()
+
     # -- failures -----------------------------------------------------------------
 
     def crash_node(self, node_id: str) -> None:
@@ -182,10 +299,21 @@ class Network:
         self.node(node_id).crash()
 
     def restart_node(self, node_id: str) -> None:
-        """Restart one machine (runs its recovery hooks)."""
+        """Restart one machine (runs its recovery hooks), then flush
+        the asynchronous deliveries parked while it was down."""
         self.node(node_id).restart()
+        for label, deliver in self._parked.pop(node_id, []):
+            if self.async_active:
+                assert self.kernel is not None
+                self.kernel.after(0.0, lambda d=deliver, n=node_id,
+                                  la=label: self._deliver(n, d, la),
+                                  label=f"flush:{label}")
+            else:
+                self.messages_delivered += 1
+                deliver()
 
     def reset_counters(self) -> None:
         """Zero the message/latency counters (between measurements)."""
         self.messages_sent = 0
+        self.messages_delivered = 0
         self.total_latency = 0.0

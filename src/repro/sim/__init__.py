@@ -1,8 +1,9 @@
-"""Discrete-event simulation substrate: clock, scheduler, failure plans."""
+"""Discrete-event simulation substrate: clock, scheduler, kernel, failures."""
 
 from repro.sim.clock import SimClock
 from repro.sim.failures import FailureEvent, FailureKind, FailurePlan
 from repro.sim.injector import FailureInjector, InjectionLogEntry
+from repro.sim.kernel import Kernel
 from repro.sim.scheduler import EventScheduler
 
 __all__ = [
@@ -12,5 +13,6 @@ __all__ = [
     "FailureKind",
     "FailurePlan",
     "InjectionLogEntry",
+    "Kernel",
     "SimClock",
 ]

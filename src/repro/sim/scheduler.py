@@ -81,9 +81,13 @@ class EventScheduler:
                 continue
             self.clock.advance_to(event.time)
             self._executed += 1
-            event.action()
+            self._execute(event)
             return True
         return False
+
+    def _execute(self, event: _ScheduledEvent) -> None:
+        """Run one due event (subclasses hook in tracing here)."""
+        event.action()
 
     def run(self, until: float | None = None,
             max_events: int | None = None) -> int:

@@ -339,15 +339,20 @@ class ClientTM:
     # -- tool processing ----------------------------------------------------------------
 
     def work(self, dop: DesignOperation, effort: float,
-             mutate: Callable[[DopContext], None] | None = None) -> None:
+             mutate: Callable[[DopContext], None] | None = None,
+             advance_clock: bool = True) -> None:
         """Apply *effort* simulated minutes of tool work to the context.
 
         Advances the simulated clock, applies the tool's mutation, and
         takes a periodic recovery point when the policy says one is due.
+        Under the concurrent kernel the clock is driven by the event
+        times themselves — those callers pass ``advance_clock=False``
+        because the kernel already sits at the work's finish instant.
         """
         dop.require("work")
         self.node.require_up()
-        self.clock.advance(effort)
+        if advance_clock:
+            self.clock.advance(effort)
         if mutate is not None:
             mutate(dop.context)
         dop.context.work_done += effort
@@ -436,6 +441,15 @@ class ClientTM:
         self._record("end_dop", dop.dop_id, state=state.value)
         if self.on_dop_finished is not None:
             self.on_dop_finished(dop, result)
+
+    def drop_dop(self, dop: DesignOperation) -> None:
+        """Forget a DOP whose start could not complete (server down
+        before the first checkout).  Purely local volatile cleanup —
+        nothing reached the server, so there is nothing to abort
+        there; the caller begins a fresh DOP on retry."""
+        self._active.pop(dop.dop_id, None)
+        self.recovery.remove(dop.dop_id)
+        self._record("drop_dop", dop.dop_id)
 
     def commit_dop(self, dop: DesignOperation,
                    result: CheckinResult | None = None) -> None:

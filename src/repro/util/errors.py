@@ -89,6 +89,15 @@ class RpcError(NetworkError):
 
 
 # ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+class KernelError(ConcordError):
+    """The discrete-event kernel could not complete a run (e.g. the
+    event budget was exhausted before quiescence)."""
+
+
+# ---------------------------------------------------------------------------
 # DC level (workflow)
 # ---------------------------------------------------------------------------
 

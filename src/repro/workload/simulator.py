@@ -28,7 +28,7 @@ from repro.baselines.models import (
     VisibilityPolicy,
     WriteConcurrency,
 )
-from repro.sim.scheduler import EventScheduler
+from repro.sim.kernel import Kernel
 from repro.util.rng import SeededRng
 from repro.workload.generator import (
     Dependency,
@@ -60,11 +60,15 @@ class TeamSimulator:
     """Deterministic discrete-event execution of a team workload."""
 
     def __init__(self, model: ProcessingModel, workload: TeamWorkload,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 kernel: Kernel | None = None) -> None:
         self.model = model
         self.workload = workload
         self.rng = SeededRng(seed if seed is not None else workload.seed)
-        self.scheduler = EventScheduler()
+        #: the shared execution kernel (also reachable as ``scheduler``
+        #: for older call sites)
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.scheduler = self.kernel
         self._runs: dict[str, _Run] = {}
         #: object -> holding session id
         self._locks: dict[str, str] = {}
@@ -83,9 +87,10 @@ class TeamSimulator:
             run = _Run(spec, SessionMetrics(spec.session_id))
             self._runs[spec.session_id] = run
         for run in self._runs.values():
-            self.scheduler.at(0.0, lambda r=run: self._begin_session(r),
-                              label=f"begin:{run.spec.session_id}")
-        self.scheduler.run()
+            self.kernel.at(self.kernel.clock.now,
+                           lambda r=run: self._begin_session(r),
+                           label=f"begin:{run.spec.session_id}")
+        self.kernel.run_until_quiescent()
         stuck = [r.spec.session_id for r in self._runs.values()
                  if not r.finished]
         if stuck:

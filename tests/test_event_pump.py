@@ -117,3 +117,49 @@ class TestPumpMechanics:
         assert captured["reason"] == "area too small"
         assert captured["sender"] == supplier.da_id
         assert captured["da_id"] == top.da_id
+
+
+class TestFixedPointDrain:
+    def test_messages_produced_while_dispatching_are_drained(self, rig):
+        """A rule firing that itself sends a message must not strand
+        that message until the next manual pump: one call drains to a
+        fixed point."""
+        system, top, supplier, consumer = rig
+        chain = []
+
+        # top's reaction to the impossible-spec report pings the
+        # consumer, whose own rule records the arrival
+        system.runtime(top.da_id).dm.rules.register(EcaRule(
+            "escalate", "Impossible_Specification",
+            lambda env: True,
+            lambda env: system.cm.modify_sub_da_specification(
+                top.da_id, consumer.da_id,
+                system.cm.da(consumer.da_id).spec)))
+        system.runtime(consumer.da_id).dm.rules.register(EcaRule(
+            "observe", "Specification_Modified",
+            lambda env: True,
+            lambda env: chain.append(env["da_id"])))
+
+        system.cm.sub_da_impossible_specification(supplier.da_id, "x")
+        firings = system.pump_events()
+        assert chain == [consumer.da_id]
+        assert firings == 2
+        assert system.cm.inbox(top.da_id) == []
+        assert system.cm.inbox(consumer.da_id) == []
+
+    def test_round_guard_bounds_a_message_ping_pong(self, rig):
+        """Two rules that keep messaging each other terminate at the
+        max_rounds guard instead of looping forever."""
+        system, top, supplier, __ = rig
+
+        def ping(env):
+            # white-box: re-send the raw message, sidestepping the DA
+            # state machine, to build an endless delivery loop
+            system.cm._send("impossible_specification", supplier.da_id,
+                            top.da_id, reason="again")
+
+        system.runtime(top.da_id).dm.rules.register(EcaRule(
+            "ping", "Impossible_Specification", lambda env: True, ping))
+        system.cm.sub_da_impossible_specification(supplier.da_id, "x")
+        firings = system.pump_events(max_rounds=5)
+        assert firings == 5

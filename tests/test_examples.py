@@ -19,6 +19,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
     "software_engineering.py",
     "negotiation_session.py",
     "recursive_planning.py",
+    "concurrent_team.py",
 ])
 def test_example_runs(script, capsys):
     path = EXAMPLES / script

@@ -133,3 +133,89 @@ class TestNetwork:
         network.reset_counters()
         assert network.messages_sent == 0
         assert network.total_latency == 0.0
+
+
+class TestStableStorageCopySkip:
+    def test_immutable_scalars_skip_the_copy(self):
+        storage = StableStorage()
+        storage.put("s", "value")
+        storage.put("i", 7)
+        storage.put("f", 1.5)
+        storage.put("n", None)
+        assert storage.copies_saved == 4
+        assert storage.get("s") == "value"
+        assert storage.copies_saved == 5
+
+    def test_immutable_tuples_skip_the_copy(self):
+        storage = StableStorage()
+        storage.put("t", (1, "a", (2.0, None)))
+        assert storage.copies_saved == 1
+        assert storage.get("t") == (1, "a", (2.0, None))
+        assert storage.copies_saved == 2
+
+    def test_mutable_payloads_still_copy(self):
+        storage = StableStorage()
+        storage.put("d", {"a": [1]})
+        storage.put("t", (1, [2]))       # tuple holding a list
+        assert storage.copies_saved == 0
+        read = storage.get("d")
+        read["a"].append(9)
+        assert storage.get("d") == {"a": [1]}
+
+    def test_writes_counted_either_way(self):
+        storage = StableStorage()
+        storage.put("a", 1)
+        storage.put("b", [1])
+        assert storage.writes == 2
+
+
+class TestAsyncDelivery:
+    def _rig(self, jitter: float = 0.0, seed: int = 0):
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        network = Network(kernel.clock, jitter=jitter, seed=seed)
+        network.attach_kernel(kernel)
+        network.add_server()
+        network.add_workstation("ws-1")
+        return kernel, network
+
+    def test_post_outside_a_run_is_synchronous(self):
+        __, network = self._rig()
+        delivered = []
+        network.post("server", "ws-1", lambda: delivered.append(1))
+        assert delivered == [1]
+
+    def test_post_during_a_run_is_queued_with_latency(self):
+        kernel, network = self._rig()
+        delivered = []
+        kernel.at(1.0, lambda: network.post(
+            "server", "ws-1",
+            lambda: delivered.append(kernel.clock.now)))
+        kernel.run_until_quiescent()
+        assert delivered == [1.0 + network.lan_latency]
+        assert network.messages_delivered == 1
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def run_once(seed):
+            kernel, network = self._rig(jitter=0.5, seed=seed)
+            arrival = []
+            kernel.at(0.0, lambda: network.post(
+                "server", "ws-1",
+                lambda: arrival.append(kernel.clock.now)))
+            kernel.run_until_quiescent()
+            return arrival[0]
+
+        assert run_once(3) == run_once(3)
+        assert run_once(3) != run_once(4)
+
+    def test_delivery_to_down_node_parks_until_restart(self):
+        kernel, network = self._rig()
+        delivered = []
+        kernel.at(0.0, lambda: network.crash_node("ws-1"))
+        kernel.at(1.0, lambda: network.post(
+            "server", "ws-1",
+            lambda: delivered.append(kernel.clock.now)))
+        kernel.at(5.0, lambda: network.restart_node("ws-1"))
+        kernel.run_until_quiescent()
+        assert delivered == [5.0]
