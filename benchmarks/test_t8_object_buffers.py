@@ -1,0 +1,30 @@
+"""Benchmark T8 — workstation object buffers: cached data shipping."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t8
+
+
+def test_t8_object_buffers(benchmark):
+    result = benchmark.pedantic(run_t8, rounds=1, iterations=1)
+    report(result)
+    rows = {(r["team"], r["write_mix"], r["caching"]): r
+            for r in result.rows}
+    configs = {(r["team"], r["write_mix"]) for r in result.rows}
+    for team, write_mix in configs:
+        cached = rows[(team, write_mix, True)]
+        uncached = rows[(team, write_mix, False)]
+        # same seed, same team: caching ships strictly fewer bytes
+        # and finishes strictly earlier
+        assert cached["bytes_shipped"] < uncached["bytes_shipped"]
+        assert cached["makespan"] < uncached["makespan"]
+        # buffers actually serve re-reads
+        assert cached["hit_rate"] > 0.0
+        assert uncached["hit_rate"] == 0.0
+        # lease-based coherence is exercised: superseding checkins
+        # revoke buffered copies
+        assert cached["checkins"] > 0
+        assert cached["invalidations"] > 0
+        assert uncached["invalidations"] == 0
+        # both paths execute the identical designer sessions
+        assert cached["checkins"] == uncached["checkins"]

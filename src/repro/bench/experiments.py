@@ -472,7 +472,57 @@ def run_t7(team_sizes: tuple[int, ...] = (2, 3, 4),
     return result
 
 
+# ---------------------------------------------------------------------------
+# T8 — workstation object buffers: data shipping with vs without caching
+# ---------------------------------------------------------------------------
+
+def run_t8(team_sizes: tuple[int, ...] = (2, 4),
+           write_mixes: tuple[float, ...] = (0.2, 0.5),
+           reread_locality: float = 0.6,
+           seed: int = 11) -> ExperimentResult:
+    """Bytes shipped, makespan and hit rate with caching on vs off.
+
+    Claim (Sect.5.1): the workstation-server split — DOVs checked
+    *out* of the server into the workstation — only pays off when the
+    workstation keeps a local object buffer; otherwise simulated
+    network cost scales with the number of reads instead of the
+    working-set size.  Expected shape: for every team size and
+    read/write mix, caching ships strictly fewer bytes and finishes
+    strictly earlier (designers skip the re-fetch latency), with a
+    non-zero buffer hit rate; invalidation traffic (the price of
+    lease-based coherence) stays far below the payload savings.
+    """
+    from repro.bench.scenarios import object_buffer_scenario
+
+    result = ExperimentResult(
+        "T8", "Workstation object buffers: cached data shipping with "
+              "lease-based coherence")
+    for team in team_sizes:
+        for write_mix in write_mixes:
+            for caching in (False, True):
+                report = object_buffer_scenario(
+                    team=team, caching=caching, seed=seed,
+                    reread_locality=reread_locality,
+                    write_mix=write_mix)
+                result.add(team=team, write_mix=write_mix,
+                           caching=caching,
+                           makespan=round(report.makespan, 1),
+                           bytes_shipped=report.bytes_shipped,
+                           hit_rate=round(report.hit_rate, 3),
+                           invalidations=report.invalidations_sent,
+                           checkins=report.checkins,
+                           messages=report.messages,
+                           fetch_time=round(report.fetch_time, 1))
+    result.notes.append(
+        "expected shape: same seed/team => caching ships strictly "
+        "fewer bytes and yields a strictly lower makespan, hit rate "
+        "> 0; higher write mixes erode the hit rate (supersessions "
+        "invalidate buffered copies) but never invert the ordering")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "T1": run_t1, "T2": run_t2, "T3": run_t3,
     "T4": run_t4, "T5": run_t5, "T6": run_t6, "T7": run_t7,
+    "T8": run_t8,
 }

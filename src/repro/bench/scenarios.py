@@ -17,11 +17,31 @@ from repro.core.features import DesignSpecification, RangeFeature
 from repro.core.states import DaState
 from repro.core.system import ConcordSystem
 from repro.dc.script import DaOpStep, DopStep, Iteration, Script, Sequence
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel
 from repro.te.context import DopContext
+from repro.te.locks import LockManager
+from repro.te.object_buffer import ObjectBuffer
 from repro.te.recovery import RecoveryPointPolicy
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.util.ids import IdGenerator
+from repro.util.rng import SeededRng
 from repro.vlsi.floorplan import Floorplan, FloorplanInterface
 from repro.vlsi.methodology import full_design_script, playout_constraints
 from repro.vlsi.tools import register_vlsi_tools, vlsi_dots
+from repro.workload.generator import team_workload
 
 
 def make_vlsi_system(workstations: tuple[str, ...] = ("ws-1",),
@@ -342,6 +362,189 @@ def concurrent_delegation_scenario(
     for da_id in [top.da_id, *sub_ids]:
         report.final_states[da_id] = system.cm.da(da_id).state.value
     return system, report
+
+
+@dataclass
+class ShippingReport:
+    """Chronicle of one T8 data-shipping run on the real TE stack."""
+
+    caching: bool = True
+    #: simulated completion time of the last designer session
+    makespan: float = 0.0
+    #: total payload bytes shipped over the LAN
+    bytes_shipped: int = 0
+    #: object-buffer lookups served locally / from the server
+    hits: int = 0
+    misses: int = 0
+    hit_rate: float = 0.0
+    #: lease invalidations the server scheduled / the buffers applied
+    invalidations_sent: int = 0
+    invalidations_applied: int = 0
+    #: LAN messages of the whole run (control + data + invalidations)
+    messages: int = 0
+    #: simulated time the designers spent waiting on payload fetches
+    fetch_time: float = 0.0
+    #: committed checkins (superseding writes) across the team
+    checkins: int = 0
+    #: deterministic kernel fingerprint of the run
+    signature: tuple[Any, ...] = ()
+    #: per-node payload bytes received (workstation fetch profile)
+    bytes_received_by: dict[str, int] = field(default_factory=dict)
+
+
+def object_buffer_scenario(team: int = 3,
+                           steps_per_session: int = 4,
+                           mean_step: float = 60.0,
+                           seed: int = 11,
+                           caching: bool = True,
+                           reread_locality: float = 0.6,
+                           write_mix: float = 0.3,
+                           reads_per_step: int = 2,
+                           object_pool: int = 4,
+                           payload_bytes: int = 4000,
+                           bandwidth: float = 400.0,
+                           lan_latency: float = 0.05,
+                           jitter: float = 0.0) -> ShippingReport:
+    """A designer team exercising the data-shipping path end to end.
+
+    Runs the *implemented* TE protocol — client-TMs, server-TM,
+    repository, 2PC checkin — on the unified kernel: one workstation
+    per designer, every session a sequence of tool steps that check
+    shared library objects out of the server (re-read locality per
+    :func:`~repro.workload.generator.team_workload`), occasionally
+    deriving and checking in a new version (``write_mix``), which
+    supersedes the old one and triggers lease invalidations of the
+    buffered copies elsewhere.  With ``caching=True`` each workstation
+    has a DOV object buffer, so re-reads are local; with
+    ``caching=False`` every checkout re-ships its payload, so network
+    cost scales with reads instead of working-set size.
+
+    The workload (read sets, durations, write plan) is drawn from
+    *seed* before the run starts, so caching on/off compare the exact
+    same design sessions.  Session dependencies are not enforced here
+    — T8 measures data shipping, not visibility policies (that is T1).
+    """
+    clock = SimClock()
+    kernel = Kernel(clock)
+    network = Network(clock, lan_latency=lan_latency, jitter=jitter,
+                      seed=seed, bandwidth=bandwidth)
+    network.attach_kernel(kernel)
+    network.add_server()
+    repository = DesignDataRepository()
+    locks = LockManager()
+    server_tm = ServerTM(repository, locks, network, clock=clock)
+    # the library pool is shared by construction; T8 measures
+    # shipping, not authorization (scope checks are F-series ground)
+    server_tm.scope_check = lambda da_id, dov_id: True
+    rpc = TransactionalRpc(network)
+    register_server_endpoints(rpc, server_tm)
+    ids = IdGenerator()
+
+    repository.register_dot(DesignObjectType("SharedObject", attributes=[
+        AttributeDef("name", AttributeKind.STRING),
+        AttributeDef("blob", AttributeKind.STRING),
+    ]))
+    repository.create_graph("lib")
+    #: object name -> id of its current (frontier) version
+    current: dict[str, str] = {}
+
+    def blob_for(obj: str, generation: int) -> str:
+        index = int(obj.rsplit("-", 1)[-1])
+        return chr(ord("a") + generation % 26) \
+            * (payload_bytes + 256 * index)
+
+    for index in range(object_pool):
+        name = f"lib-{index}"
+        dov = repository.checkin(
+            "lib", "SharedObject",
+            {"name": name, "blob": blob_for(name, 0)}, ())
+        current[name] = dov.dov_id
+
+    workload = team_workload(
+        team, steps_per_session, mean_step, seed,
+        reads_per_step=reads_per_step,
+        reread_locality=reread_locality, object_pool=object_pool)
+    # the write plan is drawn up front so caching on/off runs execute
+    # the identical sequence of designer decisions
+    write_rng = SeededRng(seed * 7919 + 23)
+    write_plan = {
+        (spec.session_id, step): write_rng.bernoulli(write_mix)
+        for spec in workload.sessions
+        for step in range(len(spec.step_durations))}
+
+    report = ShippingReport(caching=caching)
+    clients: list[ClientTM] = []
+    buffers: list[ObjectBuffer] = []
+
+    def launch(spec, client: ClientTM, da_id: str,
+               generations: dict[str, int]) -> None:
+        state = {"step": 0}
+
+        def start_step() -> None:
+            step = state["step"]
+            if step >= len(spec.step_durations):
+                return
+            dop = client.begin_dop(da_id, tool="t8-tool")
+            fetched_before = client.fetch_time
+            for obj in spec.reads_at(step):
+                client.checkout(dop, current[obj])
+            fetch_delay = client.fetch_time - fetched_before
+            kernel.after(
+                fetch_delay + spec.step_durations[step],
+                lambda: finish_step(dop, step),
+                label=f"t8-step:{spec.session_id}:{step}")
+
+        def finish_step(dop, step: int) -> None:
+            reads = spec.reads_at(step)
+            if write_plan[(spec.session_id, step)] and reads:
+                target = reads[0]
+                generations[target] = generations.get(target, 0) + 1
+                result = client.checkin(
+                    dop, "SharedObject",
+                    data={"name": target,
+                          "blob": blob_for(target, generations[target])},
+                    parents=[current[target]])
+                if result.success:
+                    current[target] = result.dov.dov_id
+                    report.checkins += 1
+                client.commit_dop(dop, result)
+            else:
+                client.commit_dop(dop)
+            state["step"] = step + 1
+            start_step()
+
+        kernel.at(0.0, start_step,
+                  label=f"t8-begin:{spec.session_id}")
+
+    generations: dict[str, int] = {}
+    for index, spec in enumerate(workload.sessions):
+        workstation = f"ws-{index}"
+        network.add_workstation(workstation)
+        buffer = ObjectBuffer(workstation) if caching else None
+        client = ClientTM(workstation, server_tm, rpc, clock, ids=ids,
+                          buffer=buffer)
+        repository.create_graph(f"da-{index}")
+        clients.append(client)
+        if buffer is not None:
+            buffers.append(buffer)
+        launch(spec, client, f"da-{index}", generations)
+
+    kernel.run_until_quiescent()
+
+    stats = network.traffic_stats()
+    report.makespan = clock.now
+    report.bytes_shipped = stats["bytes_shipped"]
+    report.bytes_received_by = stats["bytes_received_by"]
+    report.messages = stats["messages_sent"]
+    report.hits = sum(b.hits for b in buffers)
+    report.misses = sum(b.misses for b in buffers)
+    looked_up = report.hits + report.misses
+    report.hit_rate = report.hits / looked_up if looked_up else 0.0
+    report.invalidations_sent = server_tm.invalidations_sent
+    report.invalidations_applied = sum(b.invalidations for b in buffers)
+    report.fetch_time = sum(c.fetch_time for c in clients)
+    report.signature = kernel.trace_signature()
+    return report
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """The reproduction scorecard: one command, every claim checked.
 
-Runs every figure driver (F1-F8), experiment (T1-T6) and ablation
+Runs every figure driver (F1-F8), experiment (T1-T8) and ablation
 (A1-A3) and evaluates the *shape* each must exhibit (the reproduction
 criterion: who wins, by roughly what factor, where crossovers fall —
 not absolute numbers).  ``python -m repro.bench.scorecard`` prints the
@@ -19,6 +19,8 @@ from repro.bench.experiments import (
     run_t4,
     run_t5,
     run_t6,
+    run_t7,
+    run_t8,
 )
 from repro.bench.figures import (
     run_f1,
@@ -178,6 +180,36 @@ def _check_t6(result: ExperimentResult) -> str | None:
     return None
 
 
+def _check_t7(result: ExperimentResult) -> str | None:
+    rows = {(r["team"], r["mode"]): r for r in result.rows
+            if r["mode"] in ("sequential", "concurrent")}
+    for team in {r["team"] for r in result.rows}:
+        sequential = rows[(team, "sequential")]
+        concurrent = rows[(team, "concurrent")]
+        if not concurrent["makespan"] < sequential["makespan"]:
+            return "concurrent execution must beat sequential"
+        if not concurrent["states_match"]:
+            return "concurrent and sequential final states must match"
+    return None
+
+
+def _check_t8(result: ExperimentResult) -> str | None:
+    rows = {(r["team"], r["write_mix"], r["caching"]): r
+            for r in result.rows}
+    for team, write_mix, caching in list(rows):
+        if caching:
+            continue
+        uncached = rows[(team, write_mix, False)]
+        cached = rows[(team, write_mix, True)]
+        if not cached["bytes_shipped"] < uncached["bytes_shipped"]:
+            return "caching must ship strictly fewer bytes"
+        if not cached["makespan"] < uncached["makespan"]:
+            return "caching must lower the makespan"
+        if not cached["hit_rate"] > 0.0:
+            return "buffer hit rate must be non-zero"
+    return None
+
+
 def _check_a1(result: ExperimentResult) -> str | None:
     by_team: dict = {}
     for row in result.rows:
@@ -214,6 +246,7 @@ SCORECARD: dict[str, tuple[Callable[[], ExperimentResult],
     "T1": (run_t1, _check_t1), "T2": (run_t2, _check_t2),
     "T3": (run_t3, _check_t3), "T4": (run_t4, _check_t4),
     "T5": (run_t5, _check_t5), "T6": (run_t6, _check_t6),
+    "T7": (run_t7, _check_t7), "T8": (run_t8, _check_t8),
     "A1": (run_a1, _check_a1), "A2": (run_a2, _check_a2),
     "A3": (run_a3, _check_a3),
 }

@@ -43,6 +43,7 @@ from repro.repository.schema import DesignObjectType
 from repro.sim.clock import SimClock
 from repro.sim.kernel import Kernel
 from repro.te.locks import LockManager
+from repro.te.object_buffer import ObjectBuffer
 from repro.te.recovery import RecoveryPointPolicy
 from repro.te.transaction_manager import (
     ClientTM,
@@ -147,14 +148,18 @@ class ConcordSystem:
                  lan_latency: float = 0.010,
                  repository: Any = None,
                  jitter: float = 0.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 object_buffers: bool = True,
+                 buffer_capacity_bytes: int | None = None,
+                 bandwidth: float = 1_000_000.0) -> None:
         self.clock = SimClock()
         self.ids = IdGenerator()
         self.trace = EventTrace(enabled=trace)
         #: the unified discrete-event kernel every layer schedules on
         self.kernel = Kernel(self.clock)
         self.network = Network(self.clock, lan_latency=lan_latency,
-                               jitter=jitter, seed=seed)
+                               jitter=jitter, seed=seed,
+                               bandwidth=bandwidth)
         self.network.attach_kernel(self.kernel)
         self.server: Node = self.network.add_server()
         self.rpc = TransactionalRpc(self.network)
@@ -176,6 +181,11 @@ class ConcordSystem:
         self.tools = ToolRegistry()
         self.recovery_policy = recovery_policy or RecoveryPointPolicy()
         self.commit_protocol = commit_protocol
+        #: workstation object buffers on (the data-shipping cache) or
+        #: off (every checkout re-ships its payload)
+        self.object_buffers = object_buffers
+        self.buffer_capacity_bytes = buffer_capacity_bytes
+        self._buffers: dict[str, ObjectBuffer] = {}
         self._client_tms: dict[str, ClientTM] = {}
         self._runtimes: dict[str, DaRuntime] = {}
         self.constraints = DomainConstraintSet()
@@ -194,12 +204,23 @@ class ConcordSystem:
     # -- topology ------------------------------------------------------------
 
     def add_workstation(self, name: str) -> ClientTM:
-        """Register a designer workstation with its client-TM."""
+        """Register a designer workstation with its client-TM.
+
+        With :attr:`object_buffers` on, the workstation gets its DOV
+        object buffer; the client-TM serves checkout hits from it and
+        the server-TM tracks its read leases for invalidation.
+        """
         self.network.add_workstation(name)
+        buffer = None
+        if self.object_buffers:
+            buffer = ObjectBuffer(
+                name, capacity_bytes=self.buffer_capacity_bytes)
+            self._buffers[name] = buffer
         client_tm = ClientTM(name, self.server_tm, self.rpc, self.clock,
                              ids=self.ids, policy=self.recovery_policy,
                              trace=self.trace,
-                             protocol=self.commit_protocol)
+                             protocol=self.commit_protocol,
+                             buffer=buffer)
         self._client_tms[name] = client_tm
         return client_tm
 
@@ -210,6 +231,12 @@ class ConcordSystem:
         except KeyError:
             raise ConcordError(
                 f"unknown workstation {workstation!r}") from None
+
+    def object_buffer(self, workstation: str) -> ObjectBuffer | None:
+        """The DOV object buffer of a workstation (None = caching off)."""
+        if workstation not in self._client_tms:
+            raise ConcordError(f"unknown workstation {workstation!r}")
+        return self._buffers.get(workstation)
 
     # -- DA lifecycle -----------------------------------------------------------
 
@@ -534,7 +561,14 @@ class ConcordSystem:
 
     def restart_server(self) -> None:
         """Restart the server (repository redo + CM state reload run via
-        the registered restart hooks)."""
+        the registered restart hooks).
+
+        The lease table died with the server, so the server-TM's
+        restart hook conservatively flushes the workstation object
+        buffers: an unleased cached copy could never be invalidated
+        again.  Re-reads repopulate the buffers through the normal
+        checkout chain.
+        """
         self.network.restart_node(self.server.node_id)
         if self._concurrent_resume is not None:
             self._concurrent_resume(self.server.node_id)

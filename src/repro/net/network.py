@@ -38,17 +38,25 @@ class NodeKind(str, Enum):
 
 _IMMUTABLE_SCALARS = (str, int, float, bool, bytes, type(None))
 
+#: recursion cap for :func:`_is_immutable`.  Nesting deeper than this
+#: is conservatively treated as *mutable* (the payload takes the deep
+#: copy) — a correctness-preserving fallback, never an error.
+IMMUTABLE_CHECK_MAX_DEPTH = 4
+
 
 def _is_immutable(value: Any, _depth: int = 0) -> bool:
     """True when *value* cannot be mutated through any reference.
 
-    Covers the scalar types plus tuples/frozensets of immutables (to a
-    small nesting depth — deeper structures just take the copy).
+    Covers the scalar types plus tuples/frozensets of immutables, up
+    to :data:`IMMUTABLE_CHECK_MAX_DEPTH` levels of nesting.  At the
+    cap the answer deliberately flips to False: deeper structures just
+    take the copy, so the guard can never leak a live reference.
     """
     if type(value) in _IMMUTABLE_SCALARS:
         # exact types only: subclasses (str-enums, ...) take the copy
         return True
-    if _depth < 4 and type(value) in (tuple, frozenset):
+    if _depth < IMMUTABLE_CHECK_MAX_DEPTH \
+            and type(value) in (tuple, frozenset):
         return all(_is_immutable(item, _depth + 1) for item in value)
     return False
 
@@ -159,12 +167,17 @@ class Network:
                  lan_latency: float = 0.010,
                  local_latency: float = 0.001,
                  jitter: float = 0.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 bandwidth: float = 1_000_000.0) -> None:
         self.clock = clock or SimClock()
         self.lan_latency = lan_latency
         self.local_latency = local_latency
         #: upper bound of the uniform per-message delivery jitter
         self.jitter = jitter
+        #: modelled LAN throughput in payload bytes per simulated time
+        #: unit — a message of *size* bytes adds ``size / bandwidth``
+        #: to its transport delay (the data-shipping cost model)
+        self.bandwidth = bandwidth
         self._rng = SeededRng(seed)
         #: the shared execution kernel, when one is attached
         self.kernel: "Kernel | None" = None
@@ -177,6 +190,12 @@ class Network:
         self.messages_delivered = 0
         #: accumulated transport latency (simulated time units)
         self.total_latency = 0.0
+        #: total payload bytes shipped over the LAN
+        self.bytes_shipped = 0
+        #: payload bytes sent, per source node
+        self.bytes_sent_by: dict[str, int] = {}
+        #: payload bytes received, per destination node
+        self.bytes_received_by: dict[str, int] = {}
 
     # -- topology -------------------------------------------------------------
 
@@ -232,28 +251,52 @@ class Network:
         """
         return self.local_latency if src == dst else self.lan_latency
 
-    def send(self, src: str, dst: str) -> float:
+    def transfer_latency(self, src: str, dst: str, size: int = 0) -> float:
+        """Hop cost plus the size-dependent shipping time of a message.
+
+        A zero-size message is pure control traffic (the classic hop
+        latency); a sized message additionally occupies the LAN for
+        ``size / bandwidth`` simulated time units — how workstation
+        object buffers turn working-set size into network cost.
+        """
+        latency = self.hop_latency(src, dst)
+        if size > 0:
+            latency += size / self.bandwidth
+        return latency
+
+    def _account_bytes(self, src: str, dst: str, size: int) -> None:
+        if size <= 0:
+            return
+        self.bytes_shipped += size
+        self.bytes_sent_by[src] = self.bytes_sent_by.get(src, 0) + size
+        self.bytes_received_by[dst] = \
+            self.bytes_received_by.get(dst, 0) + size
+
+    def send(self, src: str, dst: str, size: int = 0) -> float:
         """Account one message src->dst; raises when either end is down.
 
-        Returns the hop latency so callers can advance their own cost
-        model; the network also accumulates it in :attr:`total_latency`.
+        Returns the transport latency (hop cost plus the size-scaled
+        shipping time for *size* payload bytes) so callers can advance
+        their own cost model; the network also accumulates it in
+        :attr:`total_latency` and books the bytes per node.
         """
         self.node(src).require_up()
         self.node(dst).require_up()
         self.messages_sent += 1
-        latency = self.hop_latency(src, dst)
+        latency = self.transfer_latency(src, dst, size)
         self.total_latency += latency
+        self._account_bytes(src, dst, size)
         return latency
 
-    def delivery_delay(self, src: str, dst: str) -> float:
-        """Per-hop cost plus the seeded uniform jitter of one message."""
-        delay = self.hop_latency(src, dst)
+    def delivery_delay(self, src: str, dst: str, size: int = 0) -> float:
+        """Transfer cost plus the seeded uniform jitter of one message."""
+        delay = self.transfer_latency(src, dst, size)
         if self.jitter > 0.0:
             delay += self._rng.uniform(0.0, self.jitter)
         return delay
 
     def post(self, src: str, dst: str, deliver: Callable[[], None],
-             label: str = "") -> float:
+             label: str = "", size: int = 0) -> float:
         """Queued asynchronous delivery of one message src -> dst.
 
         While the attached kernel is running, *deliver* is scheduled as
@@ -267,16 +310,17 @@ class Network:
         """
         label = label or f"deliver:{src}->{dst}"
         self.messages_sent += 1
+        self._account_bytes(src, dst, size)
         if not self.async_active:
             # per-hop cost is accounted either way so sequential and
             # concurrent runs report comparable transport metrics
             # (jitter only applies to genuinely queued deliveries)
-            latency = self.hop_latency(src, dst)
+            latency = self.transfer_latency(src, dst, size)
             self.total_latency += latency
             deliver()
             self.messages_delivered += 1
             return latency
-        delay = self.delivery_delay(src, dst)
+        delay = self.delivery_delay(src, dst, size)
         self.total_latency += delay
         assert self.kernel is not None
         self.kernel.after(delay, lambda: self._deliver(dst, deliver, label),
@@ -312,8 +356,31 @@ class Network:
                 self.messages_delivered += 1
                 deliver()
 
-    def reset_counters(self) -> None:
-        """Zero the message/latency counters (between measurements)."""
+    # -- traffic statistics --------------------------------------------------------
+
+    def traffic_stats(self) -> dict[str, Any]:
+        """Snapshot of every traffic counter (messages, latency, bytes)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "total_latency": self.total_latency,
+            "bytes_shipped": self.bytes_shipped,
+            "bytes_sent_by": dict(self.bytes_sent_by),
+            "bytes_received_by": dict(self.bytes_received_by),
+        }
+
+    def reset_counters(self) -> dict[str, Any]:
+        """Zero *all* traffic counters (between measurements).
+
+        Covers the message/latency counters and the per-node
+        bytes-shipped tallies alike; returns the pre-reset snapshot so
+        callers can fold the interval just measured into a report.
+        """
+        snapshot = self.traffic_stats()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.total_latency = 0.0
+        self.bytes_shipped = 0
+        self.bytes_sent_by = {}
+        self.bytes_received_by = {}
+        return snapshot

@@ -17,7 +17,7 @@ it — the property the paper predicts.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.repository.repository import DesignDataRepository
 from repro.repository.schema import DesignObjectType
@@ -45,6 +45,14 @@ class FederatedRepository:
         self._placement: dict[str, str] = {}
         #: dov_id -> member name (global directory)
         self._directory: dict[str, str] = {}
+        #: federation-level commit observer (lease invalidations);
+        #: notices originate at the owning member and are routed up
+        #: through the directory by :meth:`_member_committed`
+        self.on_commit: Callable[[DesignObjectVersion], None] | None = None
+        for name, repo in self._members.items():
+            repo.on_commit = (
+                lambda dov, member=name: self._member_committed(member,
+                                                                dov))
 
     # -- membership ------------------------------------------------------------
 
@@ -82,6 +90,23 @@ class FederatedRepository:
             raise UnknownObjectError(
                 f"DOV {dov_id!r} not in the federation directory")
         return self.member(member)
+
+    def owner_of(self, dov_id: str) -> str:
+        """Name of the member holding a durable DOV (directory lookup)."""
+        member = self._directory.get(dov_id)
+        if member is None:
+            raise UnknownObjectError(
+                f"DOV {dov_id!r} not in the federation directory")
+        return member
+
+    def _member_committed(self, member: str,
+                          dov: DesignObjectVersion) -> None:
+        """A member made *dov* durable: register it in the directory
+        and route the commit notice (lease invalidations!) from the
+        owning member up to the federation-level observer."""
+        self._directory[dov.dov_id] = member
+        if self.on_commit is not None:
+            self.on_commit(dov)
 
     # -- schema (broadcast: every member knows every DOT) ------------------------
 
@@ -127,6 +152,22 @@ class FederatedRepository:
     def read(self, dov_id: str) -> DesignObjectVersion:
         """Directory-routed read across members."""
         return self._locate_dov(dov_id).read(dov_id)
+
+    def describe(self, dov_id: str) -> dict[str, Any]:
+        """Directory-routed shipping metadata (size + version stamp)."""
+        description = self._locate_dov(dov_id).describe(dov_id)
+        description["member"] = self._directory[dov_id]
+        return description
+
+    def invalidation_targets(self, dov: DesignObjectVersion) -> list[str]:
+        """Versions a committed *dov* supersedes, federation-wide.
+
+        Routed through the global directory: cross-member parents
+        (usage-relationship inputs living on other members) are
+        invalidation targets too, which a single member could never
+        determine from its own store.
+        """
+        return [p for p in dov.parents if p in self._directory]
 
     def __contains__(self, dov_id: str) -> bool:
         member = self._directory.get(dov_id)

@@ -21,7 +21,7 @@ created DOV has to be checked" on checkin (Sect.5.2) — violations raise
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.repository.schema import DesignObjectType
 from repro.repository.storage import VersionStore
@@ -47,6 +47,9 @@ class DesignDataRepository:
         self._graphs: dict[str, DerivationGraph] = {}
         #: staged checkins: dov_id -> owning graph (DA id)
         self._pending: dict[str, str] = {}
+        #: observer fired with every newly durable DOV — the server-TM
+        #: hangs its lease-invalidation scheduling here
+        self.on_commit: Callable[[DesignObjectVersion], None] | None = None
 
     # ------------------------------------------------------------------ schema
 
@@ -99,6 +102,28 @@ class DesignDataRepository:
         """Read a durable version (checkout-side access)."""
         return self.store.get(dov_id)
 
+    def describe(self, dov_id: str) -> dict[str, Any]:
+        """Shipping metadata of a durable version (no payload transfer).
+
+        The read-path surface of the data-shipping protocol: the
+        modelled payload size (what a checkout fetch costs on the LAN)
+        and the version stamp, without shipping the data itself.
+        """
+        dov = self.store.get(dov_id)
+        return {
+            "dov_id": dov.dov_id,
+            "payload_size": dov.payload_size,
+            "stamp": dov.stamp,
+        }
+
+    def invalidation_targets(self, dov: DesignObjectVersion) -> list[str]:
+        """Durable versions a committed *dov* supersedes (its parents).
+
+        The server-TM revokes the read leases on exactly these ids
+        when *dov* becomes durable.
+        """
+        return [p for p in dov.parents if p in self.store]
+
     def __contains__(self, dov_id: str) -> bool:
         return dov_id in self.store
 
@@ -144,6 +169,8 @@ class DesignDataRepository:
                 f"no staged checkin for DOV {dov_id!r}") from None
         dov = self.store.commit(dov_id)
         self._graphs[da_id].add(dov)
+        if self.on_commit is not None:
+            self.on_commit(dov)
         return dov
 
     def abort_checkin(self, dov_id: str) -> bool:

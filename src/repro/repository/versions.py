@@ -17,6 +17,36 @@ from typing import Any, Iterator
 
 from repro.util.errors import UnknownObjectError
 
+#: modelled byte cost of a fixed-size scalar (numbers, booleans, None)
+_SCALAR_BYTES = 8
+#: modelled per-entry container overhead (keys, length words, pointers)
+_CONTAINER_OVERHEAD = 8
+
+
+def payload_sizeof(value: Any) -> int:
+    """Deterministic modelled size (in bytes) of a design payload.
+
+    This is the unit of the simulated LAN's data-shipping cost model:
+    strings and bytes count their length, fixed-size scalars count
+    :data:`_SCALAR_BYTES`, containers add a small per-entry overhead.
+    The measure is stable across processes (unlike ``sys.getsizeof``),
+    which keeps identically seeded simulations byte-identical.
+    """
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (bool, int, float)) or value is None:
+        return _SCALAR_BYTES
+    if isinstance(value, dict):
+        return sum(payload_sizeof(k) + payload_sizeof(v)
+                   + _CONTAINER_OVERHEAD for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(payload_sizeof(item) + _CONTAINER_OVERHEAD
+                   for item in value)
+    # unknown objects: flat scalar cost (keeps the model total)
+    return _SCALAR_BYTES
+
 
 @dataclass(frozen=True)
 class DesignObjectVersion:
@@ -50,6 +80,26 @@ class DesignObjectVersion:
     def copy_data(self) -> dict[str, Any]:
         """Deep copy of the payload (checkout hands tools a private copy)."""
         return copy.deepcopy(self.data)
+
+    @property
+    def payload_size(self) -> int:
+        """Modelled size in bytes of the version's data payload.
+
+        Drives the size-aware shipping cost of checkout fetches over
+        the simulated LAN (workstation object buffers pay this once
+        per miss instead of once per read).
+        """
+        return payload_sizeof(self.data)
+
+    @property
+    def stamp(self) -> tuple[str, float]:
+        """Version stamp ``(dov_id, created_at)`` of this snapshot.
+
+        DOVs are immutable, so the id alone identifies the bytes; the
+        stamp additionally carries the checkin instant for buffer
+        bookkeeping and traces.
+        """
+        return (self.dov_id, self.created_at)
 
     def get(self, attr: str, default: Any = None) -> Any:
         """Convenience attribute accessor."""

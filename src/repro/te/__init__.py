@@ -9,6 +9,7 @@ two-phase commit for their critical interactions.
 from repro.te.context import DopContext, SavepointStack
 from repro.te.dop import DesignOperation, DopState
 from repro.te.locks import Lock, LockManager, LockMode, LockStats
+from repro.te.object_buffer import BufferEntry, ObjectBuffer
 from repro.te.recovery import (
     RecoveryManager,
     RecoveryPoint,
@@ -22,9 +23,11 @@ from repro.te.transaction_manager import (
 )
 
 __all__ = [
+    "BufferEntry",
     "CheckinResult",
     "ClientTM",
     "DesignOperation",
+    "ObjectBuffer",
     "DopContext",
     "DopState",
     "Lock",

@@ -1,0 +1,161 @@
+"""Per-workstation object buffers for checked-out DOVs.
+
+The TE level is a workstation-server architecture: DOPs check design
+object versions *out* of the server repository into the workstation and
+check results back in (Sect.5.1).  That split only pays off when the
+workstation keeps the shipped versions resident instead of re-fetching
+every DOV over the LAN on each read.  :class:`ObjectBuffer` is that
+residence: a per-workstation cache of immutable DOV snapshots.
+
+Coherence is lease-based: the server-TM records a read lease per
+``(workstation, dov_id)`` whenever it ships a version to a buffering
+workstation, and revokes it — with an asynchronous invalidation message
+over the simulated LAN — when a checkin supersedes the version (the
+new DOV's parents are no longer the frontier of the design state).
+Because DOVs themselves are immutable, an entry that outlives its lease
+is never *wrong*, merely superseded; the invalidation keeps designers
+from continuing work on versions a colleague has already replaced.
+
+Scope discipline survives caching: each entry remembers the DAs whose
+checkouts were admitted by the server's scope check, and only those DAs
+hit locally — any other DA falls through to the server, which
+revalidates its scope on the miss path.
+
+Workstation crashes wipe the buffer (it is volatile state); recovery
+re-fetches through the normal checkout chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.repository.versions import DesignObjectVersion
+
+
+@dataclass
+class BufferEntry:
+    """One resident DOV: the snapshot plus its cache bookkeeping."""
+
+    dov: DesignObjectVersion
+    size: int
+    cached_at: float
+    #: DA ids whose server-validated checkouts shipped/refreshed this
+    #: entry — the only DAs allowed to hit it locally
+    authorized: set[str] = field(default_factory=set)
+    hits: int = 0
+
+
+class ObjectBuffer:
+    """The DOV object buffer of one workstation.
+
+    * :meth:`get` — scope-aware lookup; counts hits and misses.
+    * :meth:`put` — install a shipped (or freshly checked-in) version;
+      an optional byte capacity evicts the oldest-resident entries.
+    * :meth:`invalidate` — drop a superseded version (the delivery
+      side of a server lease revocation).
+    * :meth:`clear` — crash/flush semantics: everything vanishes.
+    """
+
+    def __init__(self, workstation: str,
+                 capacity_bytes: int | None = None) -> None:
+        self.workstation = workstation
+        self.capacity_bytes = capacity_bytes
+        #: dov_id -> entry, in insertion (residence) order
+        self._entries: dict[str, BufferEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+        #: fired with the dov_id of every capacity eviction — the
+        #: server-TM hangs its lease release here so an evicted copy
+        #: stops drawing invalidation traffic
+        self.on_evict: Callable[[str], None] | None = None
+
+    # -- lookups ----------------------------------------------------------------
+
+    def __contains__(self, dov_id: str) -> bool:
+        return dov_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total modelled payload bytes currently resident."""
+        return sum(entry.size for entry in self._entries.values())
+
+    def get(self, dov_id: str, da_id: str) -> DesignObjectVersion | None:
+        """The cached version, or None on a miss.
+
+        A hit requires the entry to be resident *and* authorized for
+        *da_id* — an unauthorized DA misses so the server's scope check
+        runs on the fetch path.
+        """
+        entry = self._entries.get(dov_id)
+        if entry is None or da_id not in entry.authorized:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry.hits += 1
+        return entry.dov
+
+    # -- mutation ----------------------------------------------------------------
+
+    def put(self, dov: DesignObjectVersion, da_id: str,
+            now: float = 0.0) -> BufferEntry:
+        """Install (or re-authorize) a version shipped to this node."""
+        entry = self._entries.get(dov.dov_id)
+        if entry is not None:
+            entry.authorized.add(da_id)
+            return entry
+        entry = BufferEntry(dov=dov, size=dov.payload_size,
+                            cached_at=now, authorized={da_id})
+        self._entries[dov.dov_id] = entry
+        self._evict_to_capacity()
+        return entry
+
+    def _evict_to_capacity(self) -> None:
+        if self.capacity_bytes is None:
+            return
+        while len(self._entries) > 1 \
+                and self.resident_bytes > self.capacity_bytes:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(oldest)
+
+    def invalidate(self, dov_id: str) -> bool:
+        """Drop a superseded version; True when it was resident."""
+        if self._entries.pop(dov_id, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Crash/flush: drop every entry; returns how many were lost."""
+        lost = len(self._entries)
+        self._entries.clear()
+        return lost
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses); 0.0 before any lookup."""
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of the buffer's counters (bench/trace surface)."""
+        return {
+            "workstation": self.workstation,
+            "resident": len(self._entries),
+            "resident_bytes": self.resident_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }

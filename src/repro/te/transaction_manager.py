@@ -9,12 +9,19 @@ interactions (checkin) run under two-phase commit.
 * :class:`ServerTM` — scope-checked checkout with derivation locking,
   two-phase checkin against the repository (it is the 2PC
   *participant*), derivation-lock release on End-of-DOP, WAL-backed
-  durability (delegated to the repository).
-* :class:`ClientTM` — Begin/End-of-DOP, checkout (with the mandatory
-  post-checkout recovery point), tool-work application with periodic
-  recovery points, Save/Restore, Suspend/Resume, checkin as 2PC
-  *coordinator*, and workstation-crash recovery from the most recent
-  recovery point.
+  durability (delegated to the repository), and the **lease table** of
+  the data-shipping protocol: every version shipped to a buffering
+  workstation is leased per ``(workstation, dov_id)``, and a committed
+  checkin revokes the leases on the versions it supersedes with
+  asynchronous invalidation messages over the simulated LAN.
+* :class:`ClientTM` — Begin/End-of-DOP, checkout (buffer-first: a hit
+  in the workstation's :class:`~repro.te.object_buffer.ObjectBuffer`
+  costs zero network events, a miss ships the payload size-aware), the
+  mandatory post-checkout recovery point, tool-work application with
+  periodic recovery points, Save/Restore, Suspend/Resume, checkin as
+  2PC *coordinator*, and workstation-crash recovery from the most
+  recent recovery point (the buffer is volatile: a crash drops it and
+  recovery re-fetches through the normal chain).
 """
 
 from __future__ import annotations
@@ -31,15 +38,17 @@ from repro.net.two_phase_commit import (
     Vote,
 )
 from repro.repository.repository import DesignDataRepository
-from repro.repository.versions import DesignObjectVersion
+from repro.repository.versions import DesignObjectVersion, payload_sizeof
 from repro.sim.clock import SimClock
 from repro.te.context import DopContext, SavepointStack
 from repro.te.dop import DesignOperation, DopState
+from repro.te.object_buffer import ObjectBuffer
 from repro.te.locks import LockManager, LockMode
 from repro.te.recovery import RecoveryManager, RecoveryPointPolicy
 from repro.util.errors import (
     IntegrityError,
     LockConflictError,
+    NetworkError,
     RecoveryError,
     ScopeViolationError,
     TransactionError,
@@ -79,6 +88,30 @@ class ServerTM:
         self.scope_check: Callable[[str, str], bool] = self._default_scope
         #: staged checkins per 2PC transaction id
         self._staged: dict[str, str] = {}
+        #: read leases of the data-shipping protocol:
+        #: dov_id -> workstations holding a buffered copy
+        self._leases: dict[str, set[str]] = {}
+        #: workstation -> its object buffer (invalidation delivery target)
+        self._buffers: dict[str, ObjectBuffer] = {}
+        #: invalidation messages scheduled over the LAN
+        self.invalidations_sent = 0
+        #: modelled size of one lease-invalidation control message
+        self.invalidation_bytes = 16
+        # supersession notices: every committed version revokes the
+        # leases on its parents (plain repository and federation alike
+        # expose the on_commit observer)
+        if hasattr(repository, "on_commit"):
+            repository.on_commit = self._on_repository_commit
+        # the lease table is volatile server state; and because it
+        # died with the server, a restart flushes the registered
+        # workstation buffers — an unleased copy could never be
+        # revoked again
+        try:
+            node = network.node(node_id)
+            node.on_crash.append(self.clear_leases)
+            node.on_restart.append(self.flush_buffers)
+        except NetworkError:
+            pass  # node registered later; leases then live unguarded
 
     def _default_scope(self, da_id: str, dov_id: str) -> bool:
         if not self.repository.has_graph(da_id):
@@ -92,13 +125,18 @@ class ServerTM:
     # -- checkout ---------------------------------------------------------------
 
     def checkout(self, da_id: str, dop_id: str, dov_id: str,
-                 derivation_lock: bool = False) -> DesignObjectVersion:
+                 derivation_lock: bool = False,
+                 workstation: str | None = None,
+                 lease: bool = False) -> DesignObjectVersion:
         """Scope-checked read of a DOV with optional derivation lock.
 
         Implements Sect.5.2's checkout: "it has to be tested that,
         firstly, the DOV belongs to the scope of the DOP's DA, and,
         secondly, there is no incompatible derivation lock on the DOV."
         The critical section itself is protected by a short read lock.
+        With ``lease=True`` the server additionally records a read
+        lease for *workstation* — the promise to invalidate the
+        shipped copy when a later checkin supersedes it.
         """
         self.network.node(self.node_id).require_up()
         if not self.scope_check(da_id, dov_id):
@@ -119,8 +157,11 @@ class ServerTM:
                 self.locks.acquire(dov_id, da_id, LockMode.DERIVATION)
         finally:
             self.locks.release(dov_id, dop_id, LockMode.SHORT_READ)
+        if lease and workstation is not None:
+            self._leases.setdefault(dov_id, set()).add(workstation)
         self._record("checkout", dov_id, da=da_id, dop=dop_id,
-                     derivation_lock=derivation_lock)
+                     derivation_lock=derivation_lock,
+                     leased=bool(lease and workstation))
         return dov
 
     # -- checkin (2PC participant interface) --------------------------------------
@@ -161,11 +202,22 @@ class ServerTM:
         return Vote.YES
 
     def commit(self, txn_id: str) -> None:
-        """Phase 2 commit: the staged DOV becomes durable."""
+        """Phase 2 commit: the staged DOV becomes durable.
+
+        The repository's commit observer fires the supersession
+        invalidations for the new version's parents; afterwards the
+        committing workstation — which keeps the fresh version in its
+        buffer without any extra shipping — gets a lease on it.
+        """
         dov_id = self._staged.pop(txn_id, None)
         if dov_id is None:
             raise TransactionError(f"nothing staged for txn {txn_id!r}")
         dov = self.repository.commit_checkin(dov_id)
+        request = self.network.node(self.node_id).volatile.get(
+            f"checkin-req:{txn_id}") or {}
+        if request.get("lease") and request.get("workstation"):
+            self._leases.setdefault(dov.dov_id, set()).add(
+                request["workstation"])
         self._record("checkin_committed", dov.dov_id, da=dov.created_by)
 
     def abort(self, txn_id: str) -> None:
@@ -176,7 +228,9 @@ class ServerTM:
             self._record("checkin_aborted", dov_id)
 
     def request_checkin(self, txn_id: str, da_id: str, dot_name: str,
-                        data: dict[str, Any], parents: list[str]) -> None:
+                        data: dict[str, Any], parents: list[str],
+                        workstation: str | None = None,
+                        lease: bool = False) -> None:
         """Stash a checkin request before the coordinator runs 2PC.
 
         The modification of a DA's derivation graph during checkin is
@@ -193,6 +247,8 @@ class ServerTM:
             "data": data,
             "parents": parents,
             "graph_lock": f"graph:{da_id}",
+            "workstation": workstation,
+            "lease": lease,
         }
 
     def checkin_error(self, txn_id: str) -> str | None:
@@ -225,6 +281,96 @@ class ServerTM:
             self._record("derivation_locks_released", da_id, count=released)
         return released
 
+    # -- object-buffer leases (data-shipping coherence) -----------------------------
+
+    def register_buffer(self, workstation: str,
+                        buffer: ObjectBuffer) -> None:
+        """Make *workstation*'s buffer the target of its invalidations.
+
+        Capacity evictions release the server-side lease too — an
+        evicted copy must not draw invalidation traffic later.
+        """
+        self._buffers[workstation] = buffer
+        buffer.on_evict = (
+            lambda dov_id, ws=workstation: self.release_lease(ws, dov_id))
+
+    def lease_holders(self, dov_id: str) -> set[str]:
+        """Workstations currently leasing a buffered copy of *dov_id*."""
+        return set(self._leases.get(dov_id, ()))
+
+    def release_lease(self, workstation: str, dov_id: str) -> bool:
+        """Release one lease (buffer eviction); True when it existed."""
+        holders = self._leases.get(dov_id)
+        if holders and workstation in holders:
+            holders.discard(workstation)
+            return True
+        return False
+
+    def drop_leases(self, workstation: str) -> int:
+        """Forget every lease of one workstation (its crash dropped the
+        buffered copies, so there is nothing left to invalidate)."""
+        dropped = 0
+        for holders in self._leases.values():
+            if workstation in holders:
+                holders.discard(workstation)
+                dropped += 1
+        return dropped
+
+    def clear_leases(self) -> None:
+        """Server crash: the (volatile) lease table vanishes."""
+        self._leases.clear()
+
+    def flush_buffers(self) -> None:
+        """Server restart: flush every registered workstation buffer.
+
+        The lease table died with the server, so surviving buffered
+        copies could never be invalidated again; re-reads repopulate
+        the buffers through the normal checkout chain.
+        """
+        for buffer in self._buffers.values():
+            buffer.clear()
+
+    def _on_repository_commit(self, dov: DesignObjectVersion) -> None:
+        """A version became durable: revoke the leases it supersedes.
+
+        The new DOV's parents are no longer the frontier of the design
+        state; every workstation buffering one of them gets an
+        asynchronous invalidation over the LAN (an ordinary timed
+        kernel event under the concurrent kernel, a synchronous
+        handoff otherwise).  The lease itself is revoked immediately —
+        the server stops promising coherence the moment it schedules
+        the notice.
+        """
+        targets = getattr(self.repository, "invalidation_targets", None)
+        if targets is not None:
+            superseded = targets(dov)
+        else:
+            superseded = list(dov.parents)
+        for dov_id in superseded:
+            holders = self._leases.get(dov_id)
+            if not holders:
+                continue
+            for workstation in sorted(holders):
+                self._post_invalidation(workstation, dov_id,
+                                        superseded_by=dov.dov_id)
+            holders.clear()
+
+    def _post_invalidation(self, workstation: str, dov_id: str,
+                           superseded_by: str) -> None:
+        buffer = self._buffers.get(workstation)
+
+        def deliver() -> None:
+            if buffer is not None:
+                buffer.invalidate(dov_id)
+
+        self.invalidations_sent += 1
+        self.network.post(self.node_id, workstation, deliver,
+                          label=f"invalidate:{dov_id}->{workstation}",
+                          size=self.invalidation_bytes)
+        self._record("lease_invalidated", dov_id,
+                     workstation=workstation,
+                     superseded_by=superseded_by)
+
 
 class ClientTM:
     """Workstation-side transaction manager for one workstation.
@@ -239,14 +385,24 @@ class ClientTM:
                  ids: IdGenerator | None = None,
                  policy: RecoveryPointPolicy | None = None,
                  trace: EventTrace | None = None,
-                 protocol: CommitProtocol = CommitProtocol.PRESUMED_ABORT
-                 ) -> None:
+                 protocol: CommitProtocol = CommitProtocol.PRESUMED_ABORT,
+                 buffer: ObjectBuffer | None = None) -> None:
         self.workstation = workstation
         self.server_tm = server_tm
         self.rpc = rpc
         self.clock = clock
         self.ids = ids or IdGenerator()
         self.trace = trace if trace is not None else EventTrace(enabled=False)
+        #: the workstation's DOV object buffer (None = caching off:
+        #: every checkout re-ships its payload over the LAN)
+        self.buffer = buffer
+        if buffer is not None:
+            server_tm.register_buffer(workstation, buffer)
+        #: payload bytes fetched from the server (buffer misses and,
+        #: with caching off, every checkout)
+        self.bytes_fetched = 0
+        #: simulated time spent shipping checkout payloads
+        self.fetch_time = 0.0
         node = rpc.network.node(workstation)
         self.node = node
         self.recovery = RecoveryManager(node.stable, policy)
@@ -269,8 +425,14 @@ class ClientTM:
                           operation, subject, **detail)
 
     def _on_crash(self) -> None:
-        # volatile DOP table vanishes with the workstation
+        # volatile DOP table vanishes with the workstation, and so
+        # does the object buffer; the server forgets the leases (there
+        # is no buffered copy left to invalidate) and recovery
+        # re-fetches through the normal checkout chain
         self._active.clear()
+        if self.buffer is not None:
+            self.buffer.clear()
+            self.server_tm.drop_leases(self.workstation)
 
     def active_dops(self) -> list[DesignOperation]:
         """The DOPs currently running on this workstation."""
@@ -317,24 +479,66 @@ class ClientTM:
 
     def checkout(self, dop: DesignOperation, dov_id: str,
                  derivation_lock: bool = False) -> DesignObjectVersion:
-        """Check out an input DOV into the DOP's context.
+        """Check out an input DOV into the DOP's context, buffer-first.
 
-        The server performs scope + derivation-lock checks; afterwards
-        a recovery point is taken so a crash never repeats the request
+        With an object buffer, a resident version the DOP's DA is
+        authorized for is served locally — zero network events.  A
+        miss (or a derivation-lock request, which always needs the
+        server) goes through the server's scope + derivation-lock
+        checks, then the payload is shipped size-aware over the LAN
+        and installed in the buffer under a read lease.  Afterwards a
+        recovery point is taken so a crash never repeats the request
         (Sect.5.2).
         """
         dop.require("checkout")
+        if self.buffer is not None and not derivation_lock:
+            cached = self.buffer.get(dov_id, dop.da_id)
+            if cached is not None:
+                self._install_checkout(dop, cached, dov_id, cached=True)
+                return cached
         result = self.rpc.call(
             self.workstation, self.server_tm.node_id, "checkout",
-            dop.da_id, dop.dop_id, dov_id, derivation_lock)
+            dop.da_id, dop.dop_id, dov_id, derivation_lock,
+            workstation=self.workstation,
+            lease=self.buffer is not None)
         dov: DesignObjectVersion = result.value
+        self._ship_payload(dov, dop.da_id)
+        self._install_checkout(dop, dov, dov_id, cached=False)
+        return dov
+
+    def _ship_payload(self, dov: DesignObjectVersion, da_id: str) -> None:
+        """Account the size-aware shipment of a fetched DOV payload.
+
+        The checkout RPC itself is control traffic; the version's data
+        travels as a separate sized message whose delay scales with
+        the payload bytes.  With a buffer the delivery installs the
+        version (an ordinary timed kernel event under the concurrent
+        kernel); without one the bytes are still shipped — and paid —
+        on every read.
+        """
+        network = self.rpc.network
+        buffer = self.buffer
+
+        def deliver() -> None:
+            if buffer is not None:
+                buffer.put(dov, da_id, now=network.clock.now)
+
+        delay = network.post(
+            self.server_tm.node_id, self.workstation, deliver,
+            label=f"dov-ship:{dov.dov_id}->{self.workstation}",
+            size=dov.payload_size)
+        self.bytes_fetched += dov.payload_size
+        self.fetch_time += delay
+
+    def _install_checkout(self, dop: DesignOperation,
+                          dov: DesignObjectVersion, dov_id: str,
+                          cached: bool) -> None:
         dop.input_dovs.append(dov_id)
         dop.context.checked_out.append(dov_id)
         dop.context.data.update(dov.copy_data())
-        self._record("checkout", dov_id, dop=dop.dop_id)
+        self._record("checkout", dov_id, dop=dop.dop_id, cached=cached)
         if self.recovery.policy.after_checkout:
             self._take_recovery_point(dop, "checkout")
-        return dov
 
     # -- tool processing ----------------------------------------------------------------
 
@@ -412,12 +616,25 @@ class ClientTM:
         txn_id = self.ids.next(f"txn-{self.workstation}")
         self.rpc.call(self.workstation, self.server_tm.node_id,
                       "request_checkin", txn_id, dop.da_id, dot_name,
-                      payload, lineage)
+                      payload, lineage,
+                      workstation=self.workstation,
+                      lease=self.buffer is not None)
+        # the derived data ships workstation -> server (the checkin
+        # direction of the data-shipping path; the RPC above is the
+        # control message)
+        self.rpc.network.post(
+            self.workstation, self.server_tm.node_id, lambda: None,
+            label=f"dov-upload:{txn_id}", size=payload_sizeof(payload))
         outcome = self.coordinator.execute(txn_id, [self.server_tm])
         if outcome.committed:
             dov_id = self.server_tm.staged_dov(txn_id)
             dov = self.server_tm.repository.read(dov_id)
             dop.output_dov = dov.dov_id
+            if self.buffer is not None:
+                # checkin results stay resident: the workstation just
+                # produced these bytes, so the next checkout of the new
+                # frontier is a local hit
+                self.buffer.put(dov, dop.da_id, now=self.clock.now)
             self._record("checkin", dov.dov_id, dop=dop.dop_id)
             return CheckinResult(True, dov=dov, outcome=outcome)
         reason = self.server_tm.checkin_error(txn_id) or "2PC abort"

@@ -38,9 +38,16 @@ class SessionSpec:
     writes: list[str] = field(default_factory=list)
     #: all mid-session inputs from other sessions (fan-in allowed)
     dependencies: list[Dependency] = field(default_factory=list)
+    #: shared design objects each step checks out before it runs
+    #: (one list per step; empty = the step reads nothing shared)
+    reads: list[list[str]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         pass
+
+    def reads_at(self, step: int) -> list[str]:
+        """Objects checked out at the start of *step* (may be empty)."""
+        return list(self.reads[step]) if step < len(self.reads) else []
 
     @property
     def dependency(self) -> Dependency | None:
@@ -81,9 +88,38 @@ class TeamWorkload:
         return sum(s.total_work for s in self.sessions)
 
 
+def _step_reads(rng: SeededRng, history: list[str],
+                reads_per_step: int, reread_locality: float,
+                object_pool: int) -> list[str]:
+    """Draw one step's read set with configurable re-read locality.
+
+    Each slot re-reads an object from the designer's own read history
+    with probability *reread_locality* (the working-set behaviour that
+    makes workstation object buffers pay off) and otherwise picks a
+    fresh object from the shared library pool.  Reads within one step
+    are distinct — a tool checks each input out once.
+    """
+    step_reads: list[str] = []
+    pool = [f"lib-{n}" for n in range(object_pool)]
+    for _ in range(min(reads_per_step, object_pool)):
+        candidates = [obj for obj in history if obj not in step_reads]
+        if candidates and rng.bernoulli(reread_locality):
+            choice = rng.choice(candidates)
+        else:
+            fresh = [obj for obj in pool if obj not in step_reads]
+            choice = rng.choice(fresh)
+        step_reads.append(choice)
+        if choice not in history:
+            history.append(choice)
+    return step_reads
+
+
 def team_workload(team_size: int, steps_per_session: int = 4,
                   mean_step: float = 60.0, seed: int = 0,
-                  share_objects: bool = True) -> TeamWorkload:
+                  share_objects: bool = True,
+                  reads_per_step: int = 0,
+                  reread_locality: float = 0.0,
+                  object_pool: int = 4) -> TeamWorkload:
     """Generate a seeded chip-planning-style team workload.
 
     Session *i* (>0) consumes a preliminary result of session *i-1*
@@ -91,6 +127,12 @@ def team_workload(team_size: int, steps_per_session: int = 4,
     subcell needs the neighbour's provisional borderline.  With
     ``share_objects`` neighbouring sessions also *write* a shared
     design object, exercising the models' write-concurrency policies.
+
+    With ``reads_per_step`` > 0 every step additionally checks out
+    that many shared library objects; ``reread_locality`` is the
+    probability that a read revisits an object the designer already
+    read (see :func:`_step_reads`) — the knob the T8 data-shipping
+    experiment turns to make buffer hit rates non-trivial.
     """
     if team_size < 1:
         raise ValueError("team_size must be >= 1")
@@ -113,11 +155,18 @@ def team_workload(team_size: int, steps_per_session: int = 4,
                                 steps_per_session // 2)
             dependencies.append(Dependency(f"designer-{i - 1}",
                                            producer_step, consumer_step))
+        reads: list[list[str]] = []
+        if reads_per_step > 0:
+            history: list[str] = []
+            reads = [_step_reads(rng, history, reads_per_step,
+                                 reread_locality, object_pool)
+                     for _ in range(steps_per_session)]
         sessions.append(SessionSpec(
             session_id=f"designer-{i}",
             step_durations=durations,
             writes=writes,
             dependencies=dependencies,
+            reads=reads,
         ))
     return TeamWorkload(sessions=sessions, seed=seed)
 

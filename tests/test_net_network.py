@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.network import Network, NodeKind, StableStorage
+from repro.net.network import (
+    IMMUTABLE_CHECK_MAX_DEPTH,
+    Network,
+    NodeKind,
+    StableStorage,
+    _is_immutable,
+)
 from repro.util.errors import NetworkError, NodeDownError
 
 
@@ -134,6 +140,39 @@ class TestNetwork:
         assert network.messages_sent == 0
         assert network.total_latency == 0.0
 
+    def test_reset_counters_covers_all_stats_and_returns_snapshot(self):
+        network = Network(lan_latency=0.01, bandwidth=1000.0)
+        network.add_server()
+        network.add_workstation("ws-1")
+        network.send("ws-1", "server", size=500)
+        network.post("server", "ws-1", lambda: None, size=300)
+        snapshot = network.reset_counters()
+        # the snapshot carries the pre-reset interval ...
+        assert snapshot["messages_sent"] == 2
+        assert snapshot["messages_delivered"] == 1
+        assert snapshot["bytes_shipped"] == 800
+        assert snapshot["bytes_sent_by"] == {"ws-1": 500, "server": 300}
+        assert snapshot["bytes_received_by"] == {"server": 500,
+                                                 "ws-1": 300}
+        assert snapshot["total_latency"] == pytest.approx(0.82)
+        # ... and every counter — bytes included — is zeroed
+        assert network.messages_sent == 0
+        assert network.messages_delivered == 0
+        assert network.total_latency == 0.0
+        assert network.bytes_shipped == 0
+        assert network.bytes_sent_by == {}
+        assert network.bytes_received_by == {}
+
+    def test_sized_messages_scale_latency_with_payload(self):
+        network = Network(lan_latency=0.01, bandwidth=100.0)
+        network.add_server()
+        network.add_workstation("ws-1")
+        control = network.send("server", "ws-1")
+        sized = network.send("server", "ws-1", size=50)
+        assert control == pytest.approx(0.01)
+        assert sized == pytest.approx(0.01 + 50 / 100.0)
+        assert network.bytes_shipped == 50
+
 
 class TestStableStorageCopySkip:
     def test_immutable_scalars_skip_the_copy(self):
@@ -167,6 +206,28 @@ class TestStableStorageCopySkip:
         storage.put("a", 1)
         storage.put("b", [1])
         assert storage.writes == 2
+
+    def test_deep_nesting_caps_at_the_depth_constant(self):
+        # nesting beyond IMMUTABLE_CHECK_MAX_DEPTH conservatively
+        # takes the deep copy (flips to "mutable") — it must never
+        # error or leak a live reference
+        nested = ("leaf",)
+        for _ in range(IMMUTABLE_CHECK_MAX_DEPTH + 6):
+            nested = (nested,)
+        assert _is_immutable(nested) is False
+        storage = StableStorage()
+        storage.put("deep", nested)
+        assert storage.copies_saved == 0
+        assert storage.get("deep") == nested
+
+    def test_nesting_at_the_cap_still_skips_the_copy(self):
+        nested = ("leaf",)
+        for _ in range(IMMUTABLE_CHECK_MAX_DEPTH - 1):
+            nested = (nested,)
+        assert _is_immutable(nested) is True
+        storage = StableStorage()
+        storage.put("shallow", nested)
+        assert storage.copies_saved == 1
 
 
 class TestAsyncDelivery:

@@ -11,7 +11,7 @@ from repro.repository.schema import (
     AttributeKind,
     DesignObjectType,
 )
-from repro.util.errors import UnknownObjectError
+from repro.util.errors import StorageError, UnknownObjectError
 from repro.util.ids import IdGenerator
 
 
@@ -116,6 +116,26 @@ class TestMemberFailure:
         federation.recover_member("site-a")
         assert federation.read(dov_a.dov_id).data == {"area": 1.0}
 
+    def test_cross_member_read_of_crashed_member_raises_storage_error(
+            self, federation):
+        """A directory-routed read must surface the member outage as a
+        StorageError — the DOV *exists*, its member is just down — and
+        serve again cleanly after the member recovers."""
+        federation.assign("da-a", "site-a")
+        federation.assign("da-b", "site-b")
+        federation.create_graph("da-a")
+        federation.create_graph("da-b")
+        dov_a = federation.checkin("da-a", "Cell", {"area": 1.0})
+        federation.crash_member("site-a")
+        # the directory still locates the DOV; the member refuses
+        with pytest.raises(StorageError):
+            federation.read(dov_a.dov_id)
+        # a genuinely unknown DOV keeps its distinct error
+        with pytest.raises(UnknownObjectError):
+            federation.read("dov-nowhere")
+        federation.recover_member("site-a")
+        assert federation.read(dov_a.dov_id).data == {"area": 1.0}
+
     def test_stats(self, federation):
         federation.create_graph("da-1")
         federation.checkin("da-1", "Cell", {"area": 1.0})
@@ -165,3 +185,42 @@ class TestCheckpointing:
         repo.crash()
         report = repo.recover()
         assert report["versions"] == 2
+
+
+class TestShippingSurface:
+    """The read-path metadata + commit routing the data-shipping
+    protocol consumes (payload sizes, version stamps, invalidation
+    targets routed through the directory)."""
+
+    def test_describe_routes_through_the_directory(self, federation):
+        federation.assign("da-a", "site-a")
+        federation.create_graph("da-a")
+        dov = federation.checkin("da-a", "Cell", {"area": 1.0})
+        description = federation.describe(dov.dov_id)
+        assert description["dov_id"] == dov.dov_id
+        assert description["payload_size"] == dov.payload_size
+        assert description["stamp"] == dov.stamp
+        assert description["member"] == "site-a"
+
+    def test_invalidation_targets_cross_members(self, federation):
+        federation.assign("da-a", "site-a")
+        federation.assign("da-b", "site-b")
+        federation.create_graph("da-a")
+        federation.create_graph("da-b")
+        parent = federation.checkin("da-a", "Cell", {"area": 1.0})
+        # da-b derives from da-a's version: the parent lives on the
+        # *other* member, only the directory can resolve it
+        child = federation.checkin("da-b", "Cell", {"area": 2.0},
+                                   parents=(parent.dov_id,))
+        assert federation.invalidation_targets(child) \
+            == [parent.dov_id]
+
+    def test_commit_notices_route_from_the_owning_member(self,
+                                                         federation):
+        federation.assign("da-a", "site-a")
+        federation.create_graph("da-a")
+        committed = []
+        federation.on_commit = lambda dov: committed.append(dov.dov_id)
+        dov = federation.checkin("da-a", "Cell", {"area": 1.0})
+        assert committed == [dov.dov_id]
+        assert federation.owner_of(dov.dov_id) == "site-a"

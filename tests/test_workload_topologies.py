@@ -9,6 +9,7 @@ from repro.workload.generator import (
     Dependency,
     SessionSpec,
     integration_workload,
+    team_workload,
 )
 from repro.workload.simulator import TeamSimulator
 
@@ -81,3 +82,47 @@ class TestMultiDependencySemantics:
             Dependency("p1", 0, 0)])
         assert spec.dependency.producer == "p1"
         assert SessionSpec("t", [1.0]).dependency is None
+
+
+class TestReadLocality:
+    """The re-read locality knob feeding the T8 data-shipping runs."""
+
+    def test_reads_off_by_default(self):
+        workload = team_workload(3)
+        assert all(s.reads == [] for s in workload.sessions)
+        assert workload.sessions[0].reads_at(0) == []
+
+    def test_reads_generated_per_step(self):
+        workload = team_workload(3, steps_per_session=4,
+                                 reads_per_step=2, reread_locality=0.5)
+        for spec in workload.sessions:
+            assert len(spec.reads) == 4
+            for step_reads in spec.reads:
+                assert len(step_reads) == 2
+                # distinct within one step; drawn from the library pool
+                assert len(set(step_reads)) == 2
+                assert all(obj.startswith("lib-")
+                           for obj in step_reads)
+
+    def test_full_locality_rereads_the_working_set(self):
+        workload = team_workload(2, steps_per_session=5,
+                                 reads_per_step=1,
+                                 reread_locality=1.0, object_pool=8)
+        for spec in workload.sessions:
+            # after the first (cold) read every step revisits it
+            first = spec.reads[0][0]
+            assert all(step == [first] for step in spec.reads[1:])
+
+    def test_zero_locality_never_needs_history(self):
+        workload = team_workload(2, steps_per_session=4,
+                                 reads_per_step=2,
+                                 reread_locality=0.0, object_pool=8)
+        seen = {obj for spec in workload.sessions
+                for step in spec.reads for obj in step}
+        assert seen  # fresh pool draws only
+
+    def test_reads_are_seed_deterministic(self):
+        first = team_workload(3, reads_per_step=2, reread_locality=0.6)
+        second = team_workload(3, reads_per_step=2, reread_locality=0.6)
+        assert [s.reads for s in first.sessions] \
+            == [s.reads for s in second.sessions]
