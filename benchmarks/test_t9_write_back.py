@@ -1,0 +1,17 @@
+"""Benchmark T9 — write-back buffers: group checkin vs eager shipping."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t9
+from repro.bench.scorecard import _check_t9
+
+
+def test_t9_write_back(benchmark):
+    result = benchmark.pedantic(run_t9, rounds=1, iterations=1)
+    report(result)
+    # single source of truth: the scorecard's T9 shape check
+    # (write-back strictly fewer bytes at a makespan no worse,
+    # identical sessions, real batching + coalescing, write-through
+    # never batches, server restart keeps re-validated entries warm)
+    problem = _check_t9(result)
+    assert problem is None, problem

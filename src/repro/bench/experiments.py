@@ -1,4 +1,4 @@
-"""Drivers for the quantitative experiments T1-T6.
+"""Drivers for the quantitative experiments T1-T9.
 
 These substantiate the paper's qualitative claims with measurements on
 the implemented system and baselines; see DESIGN.md §3 for the expected
@@ -521,8 +521,60 @@ def run_t8(team_sizes: tuple[int, ...] = (2, 4),
     return result
 
 
+# ---------------------------------------------------------------------------
+# T9 — write-back object buffers: group checkin vs eager shipping
+# ---------------------------------------------------------------------------
+
+def run_t9(team_sizes: tuple[int, ...] = (2, 4),
+           write_ratios: tuple[float, ...] = (0.5, 0.8),
+           seed: int = 13) -> ExperimentResult:
+    """Write-back vs write-through checkins on the real TM stack.
+
+    Claim (Sect.5.1/5.2): checkout/checkin data shipping dominates the
+    TE level's cost; PR 2 made checkouts buffer-first, this experiment
+    closes the loop on the checkin direction.  For the same seeded
+    team (identical read sets, durations and write plans), write-back
+    staging — dirty buffer entries, coalescing, one batched group
+    checkin under a single 2PC at End-of-DOP — must ship strictly
+    fewer bytes and finish no later than eagerly shipping every
+    checkin.  Each run ends with a seeded server restart whose
+    stamp-based re-validation keeps warm buffer entries resident
+    (``revalidated`` > 0) instead of cold-flushing them.
+    """
+    from repro.bench.scenarios import write_back_scenario
+
+    result = ExperimentResult(
+        "T9", "Write-back object buffers: group checkin, coalescing "
+              "and stamp-based lease re-validation")
+    for team in team_sizes:
+        for write_ratio in write_ratios:
+            for write_back in (False, True):
+                report = write_back_scenario(
+                    team=team, write_back=write_back, seed=seed,
+                    write_ratio=write_ratio)
+                result.add(team=team, write_ratio=write_ratio,
+                           write_back=write_back,
+                           makespan=round(report.makespan, 1),
+                           bytes_shipped=report.bytes_shipped,
+                           checkins=report.checkins,
+                           flushes=report.flushes,
+                           coalesced=report.coalesced,
+                           batches=report.batches,
+                           invalidations=report.invalidations_sent,
+                           hit_rate=round(report.hit_rate, 3),
+                           revalidated=report.revalidated,
+                           post_restart_bytes=report.post_restart_bytes)
+    result.notes.append(
+        "expected shape: same seed/team => write-back ships strictly "
+        "fewer bytes (coalesced intermediates never cross the LAN, "
+        "fewer supersessions => fewer invalidations) at a makespan no "
+        "worse than write-through; the server-restart episode keeps "
+        "revalidated > 0 warm entries without re-shipping them")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "T1": run_t1, "T2": run_t2, "T3": run_t3,
     "T4": run_t4, "T5": run_t5, "T6": run_t6, "T7": run_t7,
-    "T8": run_t8,
+    "T8": run_t8, "T9": run_t9,
 }

@@ -548,6 +548,243 @@ def object_buffer_scenario(team: int = 3,
 
 
 @dataclass
+class WriteBackReport:
+    """Chronicle of one T9 write-back vs write-through run."""
+
+    write_back: bool = False
+    #: simulated completion time of the last designer session
+    makespan: float = 0.0
+    #: total payload bytes shipped over the LAN
+    bytes_shipped: int = 0
+    #: LAN messages of the whole run (control + data + invalidations)
+    messages: int = 0
+    #: batched (group-checkin) messages / payloads they carried
+    batches: int = 0
+    batched_payloads: int = 0
+    #: logical checkins the designers issued (identical in both modes)
+    checkins: int = 0
+    #: group flushes executed / checkins they shipped
+    flushes: int = 0
+    flushed_checkins: int = 0
+    #: dirty provisional versions that never crossed the LAN because a
+    #: later checkin superseded them first (write-back's byte saving)
+    coalesced: int = 0
+    invalidations_sent: int = 0
+    hits: int = 0
+    misses: int = 0
+    hit_rate: float = 0.0
+    #: simulated time the designers spent waiting on payload fetches
+    fetch_time: float = 0.0
+    #: server-restart episode: entries kept warm via stamp
+    #: re-validation / dropped, and the bytes a re-read round shipped
+    #: afterwards (0 = the warm entries really were served locally)
+    revalidated: int = 0
+    revalidation_drops: int = 0
+    post_restart_bytes: int = 0
+    #: deterministic kernel fingerprint of the run
+    signature: tuple[Any, ...] = ()
+
+
+def write_back_scenario(team: int = 3,
+                        steps_per_session: int = 4,
+                        mean_step: float = 60.0,
+                        seed: int = 13,
+                        write_back: bool = True,
+                        write_ratio: float = 0.6,
+                        reads_per_step: int = 2,
+                        reread_locality: float = 0.6,
+                        object_pool: int = 4,
+                        payload_bytes: int = 4000,
+                        bandwidth: float = 400.0,
+                        lan_latency: float = 0.05,
+                        jitter: float = 0.0,
+                        flush_interval: int = 0,
+                        restart: bool = True) -> WriteBackReport:
+    """A designer team exercising write-back vs write-through checkins.
+
+    Both modes run the implemented TE protocol with object buffers on;
+    the only difference is the checkin path.  Every designer session
+    is **one long DOP**: each step checks shared library objects and
+    the neighbour's design object out of the server, works, and — per
+    the workload's seeded ``write_ratio`` plan — derives and checks in
+    a new version of the designer's own object.  With
+    ``write_back=False`` each checkin ships its payload and runs its
+    own 2PC immediately; with ``write_back=True`` checkins stage dirty
+    buffer entries that coalesce and ship as one batched group
+    checkin at End-of-DOP (plus every ``flush_interval`` checkins when
+    set).  The workload (read sets, durations, write plan) is drawn
+    from *seed* before the run, so both modes execute identical
+    designer decisions.
+
+    With ``restart=True`` the scenario appends a server-crash /
+    restart episode after the team finishes: the server-TM
+    re-validates the resident buffer entries against fresh repository
+    stamps (warm cache survives recovery), and a follow-up re-read
+    round measures how many bytes that saved (`post_restart_bytes`
+    stays 0 when every re-read hits the re-validated buffer).
+    """
+    clock = SimClock()
+    kernel = Kernel(clock)
+    network = Network(clock, lan_latency=lan_latency, jitter=jitter,
+                      seed=seed, bandwidth=bandwidth)
+    network.attach_kernel(kernel)
+    server = network.add_server()
+    repository = DesignDataRepository()
+    # repository recovery registers BEFORE the server-TM's restart
+    # hook so stamps are fresh when the buffers re-validate
+    server.on_crash.append(lambda: repository.crash())
+    server.on_restart.append(lambda: repository.recover())
+    locks = LockManager()
+    server_tm = ServerTM(repository, locks, network, clock=clock)
+    server_tm.scope_check = lambda da_id, dov_id: True
+    server_tm.revalidate_on_restart = True
+    rpc = TransactionalRpc(network)
+    register_server_endpoints(rpc, server_tm)
+    ids = IdGenerator()
+
+    repository.register_dot(DesignObjectType("SharedObject", attributes=[
+        AttributeDef("name", AttributeKind.STRING),
+        AttributeDef("blob", AttributeKind.STRING),
+    ]))
+    repository.create_graph("lib")
+    #: object name -> id of its current durable (frontier) version
+    current: dict[str, str] = {}
+
+    def blob_for(obj: str, generation: int) -> str:
+        index = int(obj.rsplit("-", 1)[-1])
+        return chr(ord("a") + generation % 26) \
+            * (payload_bytes + 256 * index)
+
+    for index in range(object_pool):
+        name = f"lib-{index}"
+        dov = repository.checkin(
+            "lib", "SharedObject",
+            {"name": name, "blob": blob_for(name, 0)}, ())
+        current[name] = dov.dov_id
+    for index in range(team):
+        name = f"cell-{index}"
+        dov = repository.checkin(
+            "lib", "SharedObject",
+            {"name": name, "blob": blob_for(name, 0)}, ())
+        current[name] = dov.dov_id
+
+    workload = team_workload(
+        team, steps_per_session, mean_step, seed,
+        reads_per_step=reads_per_step,
+        reread_locality=reread_locality, object_pool=object_pool,
+        write_ratio=write_ratio, flush_interval=flush_interval)
+
+    report = WriteBackReport(write_back=write_back)
+    clients: list[ClientTM] = []
+    buffers: list[ObjectBuffer] = []
+    generations: dict[str, int] = {}
+    #: per client, the read set of its final step (restart re-reads)
+    last_reads: dict[str, list[str]] = {}
+
+    def launch(index: int, spec, client: ClientTM) -> None:
+        da_id = f"da-{index}"
+        own = f"cell-{index}"
+        neighbour = f"cell-{(index - 1) % team}"
+        state: dict[str, Any] = {"step": 0, "dop": None, "last": None}
+
+        def start_session() -> None:
+            state["dop"] = client.begin_dop(da_id, tool="t9-tool")
+            state["last"] = current[own]
+            start_step()
+
+        def start_step() -> None:
+            step = state["step"]
+            dop = state["dop"]
+            reads = spec.reads_at(step) + [neighbour]
+            fetched_before = client.fetch_time
+            for obj in reads:
+                client.checkout(dop, current[obj])
+            last_reads[client.workstation] = [current[obj]
+                                             for obj in reads]
+            fetch_delay = client.fetch_time - fetched_before
+            kernel.after(
+                fetch_delay + spec.step_durations[step],
+                lambda: finish_step(step),
+                label=f"t9-step:{spec.session_id}:{step}")
+
+        def finish_step(step: int) -> None:
+            dop = state["dop"]
+            if spec.writes_at(step):
+                generations[own] = generations.get(own, 0) + 1
+                result = client.checkin(
+                    dop, "SharedObject",
+                    data={"name": own,
+                          "blob": blob_for(own, generations[own])},
+                    parents=[state["last"]])
+                if result.success:
+                    state["last"] = result.dov.dov_id
+                    report.checkins += 1
+                    if not result.provisional:
+                        current[own] = result.dov.dov_id
+            state["step"] = step + 1
+            if state["step"] >= len(spec.step_durations):
+                client.commit_dop(dop)
+                # write-back: End-of-DOP flushed; publish the durable
+                # frontier of this designer's object
+                current[own] = client.resolve(state["last"])
+                return
+            start_step()
+
+        kernel.at(0.0, start_session,
+                  label=f"t9-begin:{spec.session_id}")
+
+    for index, spec in enumerate(workload.sessions):
+        workstation = f"ws-{index}"
+        network.add_workstation(workstation)
+        buffer = ObjectBuffer(workstation, policy="lru")
+        client = ClientTM(
+            workstation, server_tm, rpc, clock, ids=ids,
+            buffer=buffer, write_back=write_back,
+            flush_interval=workload.flush_interval or None)
+        repository.create_graph(f"da-{index}")
+        clients.append(client)
+        buffers.append(buffer)
+        launch(index, spec, client)
+
+    kernel.run_until_quiescent()
+
+    stats = network.traffic_stats()
+    report.makespan = clock.now
+    report.bytes_shipped = stats["bytes_shipped"]
+    report.messages = stats["messages_sent"]
+    report.batches = stats["batches_sent"]
+    report.batched_payloads = stats["batched_payloads"]
+    report.flushes = sum(c.flushes for c in clients)
+    report.flushed_checkins = sum(c.flushed_checkins for c in clients)
+    report.coalesced = sum(b.coalesced for b in buffers)
+    report.invalidations_sent = server_tm.invalidations_sent
+    report.hits = sum(b.hits for b in buffers)
+    report.misses = sum(b.misses for b in buffers)
+    looked_up = report.hits + report.misses
+    report.hit_rate = report.hits / looked_up if looked_up else 0.0
+    report.fetch_time = sum(c.fetch_time for c in clients)
+    report.signature = kernel.trace_signature()
+
+    if restart:
+        # the seeded server-restart episode: warm buffers survive via
+        # stamp re-validation, then a re-read round shows the kept
+        # entries serve locally (every re-shipped byte is counted)
+        network.crash_node("server")
+        network.restart_node("server")
+        report.revalidated = sum(b.revalidated for b in buffers)
+        report.revalidation_drops = sum(b.revalidation_drops
+                                        for b in buffers)
+        before = network.bytes_shipped
+        for index, client in enumerate(clients):
+            dop = client.begin_dop(f"da-{index}", tool="t9-reread")
+            for dov_id in last_reads.get(client.workstation, []):
+                client.checkout(dop, dov_id)
+            client.commit_dop(dop)
+        report.post_restart_bytes = network.bytes_shipped - before
+    return report
+
+
+@dataclass
 class Fig5Report:
     """Chronicle of the delegation scenario (experiment F5)."""
 

@@ -1,6 +1,6 @@
 """The reproduction scorecard: one command, every claim checked.
 
-Runs every figure driver (F1-F8), experiment (T1-T8) and ablation
+Runs every figure driver (F1-F8), experiment (T1-T9) and ablation
 (A1-A3) and evaluates the *shape* each must exhibit (the reproduction
 criterion: who wins, by roughly what factor, where crossovers fall —
 not absolute numbers).  ``python -m repro.bench.scorecard`` prints the
@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     run_t6,
     run_t7,
     run_t8,
+    run_t9,
 )
 from repro.bench.figures import (
     run_f1,
@@ -210,6 +211,31 @@ def _check_t8(result: ExperimentResult) -> str | None:
     return None
 
 
+def _check_t9(result: ExperimentResult) -> str | None:
+    rows = {(r["team"], r["write_ratio"], r["write_back"]): r
+            for r in result.rows}
+    for team, write_ratio, write_back in list(rows):
+        if write_back:
+            continue
+        through = rows[(team, write_ratio, False)]
+        back = rows[(team, write_ratio, True)]
+        if not back["bytes_shipped"] < through["bytes_shipped"]:
+            return "write-back must ship strictly fewer bytes"
+        if back["makespan"] > through["makespan"]:
+            return "write-back must not worsen the makespan"
+        if back["checkins"] != through["checkins"]:
+            return "both modes must run identical designer sessions"
+        if not (back["flushes"] > 0 and back["batches"] > 0):
+            return "write-back must actually group-flush"
+        if not back["coalesced"] > 0:
+            return "write-back must coalesce superseded intermediates"
+        if through["batches"] != 0:
+            return "write-through must not batch"
+        if not back["revalidated"] > 0:
+            return "server restart must keep re-validated entries warm"
+    return None
+
+
 def _check_a1(result: ExperimentResult) -> str | None:
     by_team: dict = {}
     for row in result.rows:
@@ -247,6 +273,7 @@ SCORECARD: dict[str, tuple[Callable[[], ExperimentResult],
     "T3": (run_t3, _check_t3), "T4": (run_t4, _check_t4),
     "T5": (run_t5, _check_t5), "T6": (run_t6, _check_t6),
     "T7": (run_t7, _check_t7), "T8": (run_t8, _check_t8),
+    "T9": (run_t9, _check_t9),
     "A1": (run_a1, _check_a1), "A2": (run_a2, _check_a2),
     "A3": (run_a3, _check_a3),
 }

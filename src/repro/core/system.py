@@ -151,7 +151,10 @@ class ConcordSystem:
                  seed: int = 0,
                  object_buffers: bool = True,
                  buffer_capacity_bytes: int | None = None,
-                 bandwidth: float = 1_000_000.0) -> None:
+                 bandwidth: float = 1_000_000.0,
+                 write_back: bool = False,
+                 eviction_policy: str = "lru",
+                 flush_interval: int | None = None) -> None:
         self.clock = SimClock()
         self.ids = IdGenerator()
         self.trace = EventTrace(enabled=trace)
@@ -170,9 +173,19 @@ class ConcordSystem:
         self.repository = repository if repository is not None \
             else DesignDataRepository(self.ids)
         self.locks = LockManager()
+        # server crash/restart wiring for the repository — registered
+        # BEFORE the server-TM's own hooks so that, on restart, the
+        # repository has redone its WAL by the time the server-TM
+        # re-validates the workstation buffers against its stamps
+        self.server.on_crash.append(lambda: self.repository.crash())
+        self.server.on_restart.append(lambda: self.repository.recover())
         self.server_tm = ServerTM(self.repository, self.locks,
                                   self.network, trace=self.trace,
                                   clock=self.clock)
+        # facade default: keep warm buffers across a server restart
+        # (stamp-based re-validation); restart_server(revalidate=False)
+        # restores the seed's conservative cold flush
+        self.server_tm.revalidate_on_restart = True
         register_server_endpoints(self.rpc, self.server_tm)
         self.cm = CooperationManager(self.repository, self.locks,
                                      self.network, ids=self.ids,
@@ -185,6 +198,13 @@ class ConcordSystem:
         #: off (every checkout re-ships its payload)
         self.object_buffers = object_buffers
         self.buffer_capacity_bytes = buffer_capacity_bytes
+        #: replacement policy name for every workstation buffer
+        #: ("fifo" | "lru" | "size-aware")
+        self.eviction_policy = eviction_policy
+        #: write-back checkins (deferred, group-flushed) vs the
+        #: write-through default
+        self.write_back = write_back
+        self.flush_interval = flush_interval
         self._buffers: dict[str, ObjectBuffer] = {}
         self._client_tms: dict[str, ClientTM] = {}
         self._runtimes: dict[str, DaRuntime] = {}
@@ -196,9 +216,8 @@ class ConcordSystem:
         #: kernel restart path has no caller to hand them to)
         self.last_recovery_reports: dict[str, Any] = {}
 
-        # server crash/restart wiring for the repository
-        self.server.on_crash.append(lambda: self.repository.crash())
-        self.server.on_restart.append(lambda: self.repository.recover())
+        # CM state reload on server restart (repository hooks were
+        # registered above, before the server-TM's re-validation hook)
         self.server.on_restart.append(lambda: self.cm.recover())
 
     # -- topology ------------------------------------------------------------
@@ -214,13 +233,16 @@ class ConcordSystem:
         buffer = None
         if self.object_buffers:
             buffer = ObjectBuffer(
-                name, capacity_bytes=self.buffer_capacity_bytes)
+                name, capacity_bytes=self.buffer_capacity_bytes,
+                policy=self.eviction_policy)
             self._buffers[name] = buffer
         client_tm = ClientTM(name, self.server_tm, self.rpc, self.clock,
                              ids=self.ids, policy=self.recovery_policy,
                              trace=self.trace,
                              protocol=self.commit_protocol,
-                             buffer=buffer)
+                             buffer=buffer,
+                             write_back=self.write_back,
+                             flush_interval=self.flush_interval)
         self._client_tms[name] = client_tm
         return client_tm
 
@@ -559,16 +581,24 @@ class ConcordSystem:
         """Crash the server: repository + CM volatile state vanish."""
         self.network.crash_node(self.server.node_id)
 
-    def restart_server(self) -> None:
+    def restart_server(self, revalidate: bool = True) -> None:
         """Restart the server (repository redo + CM state reload run via
         the registered restart hooks).
 
-        The lease table died with the server, so the server-TM's
-        restart hook conservatively flushes the workstation object
-        buffers: an unleased cached copy could never be invalidated
-        again.  Re-reads repopulate the buffers through the normal
-        checkout chain.
+        The lease table died with the server, so the surviving
+        workstation buffer entries must be dealt with.  With
+        ``revalidate=True`` (default) the server-TM re-validates each
+        registered buffer against fresh repository stamps
+        (``describe_many`` — metadata only): entries whose stamp still
+        matches stay resident under a new read lease, so warm caches
+        survive recovery without re-shipping a byte.  With
+        ``revalidate=False`` the seed's conservative path runs
+        instead: every buffer is cold-flushed and re-reads repopulate
+        it through the normal checkout chain.  The choice is sticky —
+        it also governs later kernel-injected restarts armed with
+        :meth:`schedule_crash`.
         """
+        self.server_tm.revalidate_on_restart = revalidate
         self.network.restart_node(self.server.node_id)
         if self._concurrent_resume is not None:
             self._concurrent_resume(self.server.node_id)

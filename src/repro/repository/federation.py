@@ -159,6 +159,22 @@ class FederatedRepository:
         description["member"] = self._directory[dov_id]
         return description
 
+    def describe_many(self, dov_ids: list[str]
+                      ) -> dict[str, dict[str, Any]]:
+        """Batch describe, directory-routed; unknown ids are absent.
+
+        Federation-wide stamp re-validation: each id is answered by
+        the member that owns it, so a workstation buffer mixing DOVs
+        from several members re-validates them all in one call.
+        """
+        descriptions: dict[str, dict[str, Any]] = {}
+        for dov_id in dov_ids:
+            member = self._directory.get(dov_id)
+            if member is not None \
+                    and dov_id in self._members[member]:
+                descriptions[dov_id] = self.describe(dov_id)
+        return descriptions
+
     def invalidation_targets(self, dov: DesignObjectVersion) -> list[str]:
         """Versions a committed *dov* supersedes, federation-wide.
 
@@ -216,6 +232,39 @@ class FederatedRepository:
         """Abort wherever the version was staged."""
         return any(repo.abort_checkin(dov_id)
                    for repo in self._members.values())
+
+    def commit_group(self, dov_ids: list[str]) -> list[DesignObjectVersion]:
+        """Commit a staged group, batching per owning member.
+
+        Versions staged on the same member commit through that
+        member's atomic :meth:`DesignDataRepository.commit_group` (one
+        forced WAL flush each); a group spanning members is atomic
+        *per member* only — the federation has no global log, the
+        price of the paper's "distributed data management does not
+        influence the major model of operation" assumption.  Batch
+        order is preserved in the returned list and in the on_commit
+        notifications routed through the directory.
+        """
+        homes: dict[str, str] = {}
+        for dov_id in dov_ids:
+            for name, repo in self._members.items():
+                if dov_id in repo.store.staged_ids():
+                    homes[dov_id] = name
+                    break
+            else:
+                raise UnknownObjectError(
+                    f"no staged checkin for DOV {dov_id!r} in any member")
+        committed: dict[str, DesignObjectVersion] = {}
+        for name in dict.fromkeys(homes.values()):
+            member_ids = [i for i in dov_ids if homes[i] == name]
+            for dov in self._members[name].commit_group(member_ids):
+                committed[dov.dov_id] = dov
+                self._directory.setdefault(dov.dov_id, name)
+        return [committed[dov_id] for dov_id in dov_ids]
+
+    def abort_group(self, dov_ids: list[str]) -> int:
+        """Abort a staged group wherever its versions live."""
+        return sum(1 for dov_id in dov_ids if self.abort_checkin(dov_id))
 
     def checkin(self, da_id: str, dot_name: str, data: dict[str, Any],
                 parents: tuple[str, ...] = (),

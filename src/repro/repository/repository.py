@@ -116,6 +116,22 @@ class DesignDataRepository:
             "stamp": dov.stamp,
         }
 
+    def describe_many(self, dov_ids: list[str]
+                      ) -> dict[str, dict[str, Any]]:
+        """Batch :meth:`describe`: one control round-trip, many stamps.
+
+        Ids that are not (or no longer) durable are simply absent from
+        the result — the caller treats absence as "drop your copy".
+        This is the server half of stamp-based buffer re-validation:
+        after a server restart a workstation sends its resident ids
+        and keeps exactly those whose stamps still match.
+        """
+        descriptions: dict[str, dict[str, Any]] = {}
+        for dov_id in dov_ids:
+            if dov_id in self.store:
+                descriptions[dov_id] = self.describe(dov_id)
+        return descriptions
+
     def invalidation_targets(self, dov: DesignObjectVersion) -> list[str]:
         """Durable versions a committed *dov* supersedes (its parents).
 
@@ -173,10 +189,42 @@ class DesignDataRepository:
             self.on_commit(dov)
         return dov
 
+    def commit_group(self, dov_ids: list[str]) -> list[DesignObjectVersion]:
+        """Phase 2 (commit) for a whole staged group, atomically.
+
+        The durability of the batch rides on a single forced WAL flush
+        (:meth:`~repro.repository.storage.VersionStore.commit_batch`):
+        a server crash mid-group loses the entire unforced tail, so
+        recovery sees all of the batch or none of it.  Graphs extend
+        and the :attr:`on_commit` observer fires per version *in batch
+        order* — lease invalidations for a group are therefore
+        scheduled in the same deterministic order the workstation
+        checked the versions in.
+        """
+        owners = []
+        for dov_id in dov_ids:
+            try:
+                owners.append(self._pending[dov_id])
+            except KeyError:
+                raise UnknownObjectError(
+                    f"no staged checkin for DOV {dov_id!r}") from None
+        dovs = self.store.commit_batch(dov_ids)
+        for dov in dovs:
+            self._pending.pop(dov.dov_id, None)
+        for dov, da_id in zip(dovs, owners):
+            self._graphs[da_id].add(dov)
+            if self.on_commit is not None:
+                self.on_commit(dov)
+        return dovs
+
     def abort_checkin(self, dov_id: str) -> bool:
         """Phase 2 (abort): drop the staged version."""
         self._pending.pop(dov_id, None)
         return self.store.discard(dov_id)
+
+    def abort_group(self, dov_ids: list[str]) -> int:
+        """Phase 2 (abort) for a staged group; returns #discarded."""
+        return sum(1 for dov_id in dov_ids if self.abort_checkin(dov_id))
 
     def checkin(self, da_id: str, dot_name: str, data: dict[str, Any],
                 parents: tuple[str, ...] = (),

@@ -47,6 +47,17 @@ class VersionStore:
             raise StorageError(f"DOV {dov.dov_id!r} already stored")
         self._staged[dov.dov_id] = dov
 
+    @staticmethod
+    def _checkin_payload(dov: DesignObjectVersion) -> dict:
+        return {
+            "dov_id": dov.dov_id,
+            "dot": dov.dot_name,
+            "created_by": dov.created_by,
+            "created_at": dov.created_at,
+            "parents": list(dov.parents),
+            "data": dov.data,
+        }
+
     def commit(self, dov_id: str) -> DesignObjectVersion:
         """Make a staged version durable (WAL force + stable write)."""
         self._require_up()
@@ -54,16 +65,37 @@ class VersionStore:
             dov = self._staged.pop(dov_id)
         except KeyError:
             raise StorageError(f"DOV {dov_id!r} was not staged") from None
-        self.wal.append(LogRecordKind.DOV_CHECKIN, {
-            "dov_id": dov.dov_id,
-            "dot": dov.dot_name,
-            "created_by": dov.created_by,
-            "created_at": dov.created_at,
-            "parents": list(dov.parents),
-            "data": dov.data,
-        }, force=True)
+        self.wal.append(LogRecordKind.DOV_CHECKIN,
+                        self._checkin_payload(dov), force=True)
         self._stable[dov.dov_id] = dov
         return dov
+
+    def commit_batch(self, dov_ids: list[str]) -> list[DesignObjectVersion]:
+        """Make a group of staged versions durable *atomically*.
+
+        All checkin records are appended to the volatile WAL tail and
+        made stable by **one** force at the end: a crash anywhere
+        before that force loses the whole unforced tail, so either the
+        entire batch survives recovery or none of it does — the
+        durability half of group-checkin atomicity (the staging half
+        is the server-TM's all-or-nothing prepare).  Also the cheaper
+        path: one forced log write for the batch instead of one per
+        version.
+        """
+        self._require_up()
+        missing = [dov_id for dov_id in dov_ids
+                   if dov_id not in self._staged]
+        if missing:
+            raise StorageError(
+                f"DOVs not staged for group commit: {missing}")
+        dovs = [self._staged.pop(dov_id) for dov_id in dov_ids]
+        for dov in dovs:
+            self.wal.append(LogRecordKind.DOV_CHECKIN,
+                            self._checkin_payload(dov), force=False)
+        self.wal.force()
+        for dov in dovs:
+            self._stable[dov.dov_id] = dov
+        return dovs
 
     def discard(self, dov_id: str) -> bool:
         """Drop a staged version (abort path); True when it existed."""

@@ -9,7 +9,15 @@ two-phase commit for their critical interactions.
 from repro.te.context import DopContext, SavepointStack
 from repro.te.dop import DesignOperation, DopState
 from repro.te.locks import Lock, LockManager, LockMode, LockStats
-from repro.te.object_buffer import BufferEntry, ObjectBuffer
+from repro.te.object_buffer import (
+    BufferEntry,
+    EvictionPolicy,
+    FifoEviction,
+    LruEviction,
+    ObjectBuffer,
+    SizeAwareEviction,
+    make_eviction_policy,
+)
 from repro.te.recovery import (
     RecoveryManager,
     RecoveryPoint,
@@ -18,6 +26,7 @@ from repro.te.recovery import (
 from repro.te.transaction_manager import (
     CheckinResult,
     ClientTM,
+    FlushResult,
     ServerTM,
     register_server_endpoints,
 )
@@ -27,6 +36,10 @@ __all__ = [
     "CheckinResult",
     "ClientTM",
     "DesignOperation",
+    "EvictionPolicy",
+    "FifoEviction",
+    "FlushResult",
+    "LruEviction",
     "ObjectBuffer",
     "DopContext",
     "DopState",
@@ -39,5 +52,7 @@ __all__ = [
     "RecoveryPointPolicy",
     "SavepointStack",
     "ServerTM",
+    "SizeAwareEviction",
+    "make_eviction_policy",
     "register_server_endpoints",
 ]

@@ -22,6 +22,19 @@ interactions (checkin) run under two-phase commit.
   2PC *coordinator*, and workstation-crash recovery from the most
   recent recovery point (the buffer is volatile: a crash drops it and
   recovery re-fetches through the normal chain).
+
+Checkin runs in one of two modes:
+
+* **write-through** (default, the seed behaviour): every checkin ships
+  its payload and runs its own 2PC immediately;
+* **write-back** (``ClientTM(write_back=True)``): checkins stage
+  *dirty* provisional versions in the object buffer and ship later as
+  one batched, sized **group checkin** under a single 2PC — triggered
+  by End-of-DOP, a lease recall touching dirty lineage, capacity
+  pressure, an optional dirty-set size threshold (``flush_interval``),
+  or an explicit :meth:`ClientTM.flush`.  Successive checkins of the same lineage
+  coalesce before shipping, and a workstation crash drops unflushed
+  dirty data (recovered from repository state, not from the buffer).
 """
 
 from __future__ import annotations
@@ -59,10 +72,34 @@ from repro.util.trace import EventTrace, Level
 
 @dataclass
 class CheckinResult:
-    """Outcome of a checkin reported to the DM (Sect.5.2/5.3)."""
+    """Outcome of a checkin reported to the DM (Sect.5.2/5.3).
+
+    In write-back mode a successful checkin is *provisional*: the
+    version lives only in the workstation buffer (``dov`` carries a
+    provisional id) until a flush ships it; integrity validation is
+    deferred to the flush, whose :class:`FlushResult` carries any
+    rejection.
+    """
 
     success: bool
     dov: DesignObjectVersion | None = None
+    reason: str = ""
+    outcome: CommitOutcome | None = None
+    #: True when the version is an unflushed write-back entry
+    provisional: bool = False
+
+
+@dataclass
+class FlushResult:
+    """Outcome of one group checkin (write-back flush)."""
+
+    success: bool
+    #: checkins shipped in the batch (0 = nothing was dirty)
+    count: int = 0
+    #: payload bytes the batch shipped over the LAN
+    bytes_shipped: int = 0
+    #: provisional id -> durable id assigned by the server
+    mapping: dict[str, str] = field(default_factory=dict)
     reason: str = ""
     outcome: CommitOutcome | None = None
 
@@ -88,6 +125,8 @@ class ServerTM:
         self.scope_check: Callable[[str, str], bool] = self._default_scope
         #: staged checkins per 2PC transaction id
         self._staged: dict[str, str] = {}
+        #: staged *group* checkins: txn_id -> dov ids in batch order
+        self._staged_groups: dict[str, list[str]] = {}
         #: read leases of the data-shipping protocol:
         #: dov_id -> workstations holding a buffered copy
         self._leases: dict[str, set[str]] = {}
@@ -97,19 +136,29 @@ class ServerTM:
         self.invalidations_sent = 0
         #: modelled size of one lease-invalidation control message
         self.invalidation_bytes = 16
+        #: group checkins committed (each one batched 2PC run)
+        self.group_checkins = 0
+        #: restart policy: True re-validates resident buffer entries
+        #: against repository stamps (warm caches survive recovery),
+        #: False keeps the seed's conservative cold flush.  Standalone
+        #: TE rigs default to the flush; :class:`ConcordSystem` turns
+        #: re-validation on (its hook ordering guarantees the
+        #: repository has recovered before the stamps are read).
+        self.revalidate_on_restart = False
         # supersession notices: every committed version revokes the
         # leases on its parents (plain repository and federation alike
         # expose the on_commit observer)
         if hasattr(repository, "on_commit"):
             repository.on_commit = self._on_repository_commit
-        # the lease table is volatile server state; and because it
-        # died with the server, a restart flushes the registered
-        # workstation buffers — an unleased copy could never be
-        # revoked again
+        # the lease table is volatile server state and died with the
+        # server; a restart must either re-validate the registered
+        # workstation buffers against fresh repository stamps or flush
+        # them — an unleased, unvalidated copy could never be revoked
+        # again
         try:
             node = network.node(node_id)
             node.on_crash.append(self.clear_leases)
-            node.on_restart.append(self.flush_buffers)
+            node.on_restart.append(self._on_server_restart)
         except NetworkError:
             pass  # node registered later; leases then live unguarded
 
@@ -137,6 +186,11 @@ class ServerTM:
         With ``lease=True`` the server additionally records a read
         lease for *workstation* — the promise to invalidate the
         shipped copy when a later checkin supersedes it.
+
+        Runs synchronously on the RPC's stack; the payload shipment
+        (a sized async message, i.e. a timed kernel event under the
+        concurrent kernel) is the *caller's* doing — see
+        :meth:`ClientTM._ship_payload`.
         """
         self.network.node(self.node_id).require_up()
         if not self.scope_check(da_id, dov_id):
@@ -167,13 +221,20 @@ class ServerTM:
     # -- checkin (2PC participant interface) --------------------------------------
 
     def prepare(self, txn_id: str) -> Vote:
-        """Phase 1 of checkin: validate + stage the new DOV.
+        """Phase 1 of checkin: validate + stage the new DOV(s).
 
-        The checkin request payload is stashed under *txn_id* by
-        :meth:`request_checkin` before the coordinator starts 2PC.
+        The request payload is stashed under *txn_id* by
+        :meth:`request_checkin` (single) or
+        :meth:`request_group_checkin` (batch) before the coordinator
+        starts 2PC.  Runs synchronously on the coordinator's stack —
+        no kernel events of its own; the network costs are the 2PC
+        messages the coordinator accounts.
         """
         node = self.network.node(self.node_id)
         node.require_up()
+        group = node.volatile.get(f"group-checkin-req:{txn_id}")
+        if group is not None:
+            return self._prepare_group(txn_id, group)
         request = node.volatile.get(f"checkin-req:{txn_id}")
         if request is None:
             return Vote.NO
@@ -201,14 +262,75 @@ class ServerTM:
         self._record("checkin_prepared", dov.dov_id, da=da_id)
         return Vote.YES
 
+    def _prepare_group(self, txn_id: str, request: dict[str, Any]) -> Vote:
+        """Phase 1 of a group checkin: stage the whole batch or nothing.
+
+        Records are staged in batch order; parents naming an earlier
+        record's provisional id resolve to the durable id the server
+        just assigned it, so an unflushed lineage ships as one
+        consistent chain.  Any failure (integrity violation, unknown
+        parent, lock conflict) un-stages everything already staged and
+        votes NO — atomicity at the staging level; the durability
+        level is covered by the repository's single-force group
+        commit.
+        """
+        node = self.network.node(self.node_id)
+        staged: list[str] = []
+        mapping: dict[str, str] = {}
+        for record in request["records"]:
+            da_id = record["da_id"]
+            parents = tuple(mapping.get(p, p)
+                            for p in record["parents"])
+            graph_lock = f"graph:{da_id}"
+            try:
+                self.locks.acquire(graph_lock, txn_id,
+                                   LockMode.SHORT_WRITE)
+                try:
+                    dov = self.repository.stage_checkin(
+                        da_id=da_id,
+                        dot_name=record["dot_name"],
+                        data=record["data"],
+                        parents=parents,
+                        created_at=self.clock.now,
+                    )
+                finally:
+                    self.locks.release(graph_lock, txn_id,
+                                       LockMode.SHORT_WRITE)
+            except Exception as exc:  # noqa: BLE001 - any failure aborts
+                abort_group = getattr(self.repository, "abort_group", None)
+                if abort_group is not None:
+                    abort_group(staged)
+                else:
+                    for dov_id in reversed(staged):
+                        self.repository.abort_checkin(dov_id)
+                node.volatile[f"checkin-err:{txn_id}"] = str(exc)
+                self._record("group_checkin_prepare_failed", txn_id,
+                             da=da_id, error=str(exc),
+                             staged_rolled_back=len(staged))
+                return Vote.NO
+            staged.append(dov.dov_id)
+            mapping[record["provisional_id"]] = dov.dov_id
+        self._staged_groups[txn_id] = staged
+        node.volatile[f"group-checkin-map:{txn_id}"] = mapping
+        self._record("group_checkin_prepared", txn_id, count=len(staged))
+        return Vote.YES
+
     def commit(self, txn_id: str) -> None:
-        """Phase 2 commit: the staged DOV becomes durable.
+        """Phase 2 commit: the staged DOV(s) become durable.
 
         The repository's commit observer fires the supersession
-        invalidations for the new version's parents; afterwards the
-        committing workstation — which keeps the fresh version in its
-        buffer without any extra shipping — gets a lease on it.
+        invalidations for each new version's parents — asynchronous
+        sized LAN messages (ordinary timed kernel events under the
+        concurrent kernel, scheduled in deterministic batch order);
+        afterwards the committing workstation — which keeps the fresh
+        versions in its buffer without any extra shipping — gets a
+        lease on each.  A group commits through the repository's
+        atomic single-force path.
         """
+        group = self._staged_groups.pop(txn_id, None)
+        if group is not None:
+            self._commit_group(txn_id, group)
+            return
         dov_id = self._staged.pop(txn_id, None)
         if dov_id is None:
             raise TransactionError(f"nothing staged for txn {txn_id!r}")
@@ -220,8 +342,35 @@ class ServerTM:
                 request["workstation"])
         self._record("checkin_committed", dov.dov_id, da=dov.created_by)
 
+    def _commit_group(self, txn_id: str, staged: list[str]) -> None:
+        commit_group = getattr(self.repository, "commit_group", None)
+        if commit_group is not None:
+            dovs = commit_group(staged)
+        else:  # repository without the batch surface: per-version path
+            dovs = [self.repository.commit_checkin(dov_id)
+                    for dov_id in staged]
+        request = self.network.node(self.node_id).volatile.get(
+            f"group-checkin-req:{txn_id}") or {}
+        if request.get("lease") and request.get("workstation"):
+            for dov in dovs:
+                self._leases.setdefault(dov.dov_id, set()).add(
+                    request["workstation"])
+        self.group_checkins += 1
+        self._record("group_checkin_committed", txn_id, count=len(dovs))
+
     def abort(self, txn_id: str) -> None:
-        """Phase 2 abort: the staged DOV is discarded."""
+        """Phase 2 abort: the staged DOV(s) are discarded."""
+        group = self._staged_groups.pop(txn_id, None)
+        if group is not None:
+            abort_group = getattr(self.repository, "abort_group", None)
+            if abort_group is not None:
+                abort_group(group)
+            else:
+                for dov_id in reversed(group):
+                    self.repository.abort_checkin(dov_id)
+            self._record("group_checkin_aborted", txn_id,
+                         count=len(group))
+            return
         dov_id = self._staged.pop(txn_id, None)
         if dov_id is not None:
             self.repository.abort_checkin(dov_id)
@@ -251,6 +400,29 @@ class ServerTM:
             "lease": lease,
         }
 
+    def request_group_checkin(self, txn_id: str,
+                              records: list[dict[str, Any]],
+                              workstation: str | None = None,
+                              lease: bool = False) -> int:
+        """Stash a batched (write-back) checkin before the 2PC runs.
+
+        *records* carry the deferred checkin requests in the
+        workstation's original checkin order, each with its
+        ``provisional_id`` so the server can map unflushed lineage to
+        the durable ids it assigns during :meth:`prepare`.  Like
+        :meth:`request_checkin` this is a control message; the batch's
+        payload bytes travel as one separate sized LAN message the
+        client posts.  Returns the accepted record count.
+        """
+        node = self.network.node(self.node_id)
+        node.require_up()
+        node.volatile[f"group-checkin-req:{txn_id}"] = {
+            "records": [dict(record) for record in records],
+            "workstation": workstation,
+            "lease": lease,
+        }
+        return len(records)
+
     def checkin_error(self, txn_id: str) -> str | None:
         """Why the prepare for *txn_id* voted NO (integrity message)."""
         node = self.network.node(self.node_id)
@@ -260,6 +432,12 @@ class ServerTM:
         """Id assigned to the staged DOV of *txn_id*, if prepare succeeded."""
         node = self.network.node(self.node_id)
         return node.volatile.get(f"checkin-dov:{txn_id}")
+
+    def group_mapping(self, txn_id: str) -> dict[str, str]:
+        """provisional id -> durable id of a prepared group checkin."""
+        node = self.network.node(self.node_id)
+        return dict(node.volatile.get(f"group-checkin-map:{txn_id}")
+                    or {})
 
     # -- End-of-DOP support ---------------------------------------------------------
 
@@ -289,6 +467,8 @@ class ServerTM:
 
         Capacity evictions release the server-side lease too — an
         evicted copy must not draw invalidation traffic later.
+        Registration order is the order restart re-validation walks
+        the buffers in, part of the determinism contract.
         """
         self._buffers[workstation] = buffer
         buffer.on_evict = (
@@ -320,15 +500,71 @@ class ServerTM:
         """Server crash: the (volatile) lease table vanishes."""
         self._leases.clear()
 
+    def _on_server_restart(self) -> None:
+        """Restart hook: re-validate or flush the registered buffers.
+
+        Dispatches on :attr:`revalidate_on_restart`.  When
+        re-validating, the repository must already have recovered
+        (hook-registration order is the caller's contract —
+        :class:`~repro.core.system.ConcordSystem` registers the
+        repository's recovery before constructing the server-TM).
+        """
+        if self.revalidate_on_restart:
+            self.revalidate_buffers()
+        else:
+            self.flush_buffers()
+
     def flush_buffers(self) -> None:
-        """Server restart: flush every registered workstation buffer.
+        """Server restart (conservative path): flush every registered
+        workstation buffer.
 
         The lease table died with the server, so surviving buffered
         copies could never be invalidated again; re-reads repopulate
-        the buffers through the normal checkout chain.
+        the buffers through the normal checkout chain.  This was the
+        seed behaviour and stays reachable via
+        ``restart_server(revalidate=False)`` /
+        ``revalidate_on_restart = False``.  Dirty (unflushed
+        write-back) entries survive either restart path: they were
+        never shipped, so the server's death says nothing about them —
+        a later flush ships them against the recovered repository.
         """
         for buffer in self._buffers.values():
-            buffer.clear()
+            buffer.drop_clean()
+
+    def revalidate_buffers(self) -> dict[str, dict[str, int]]:
+        """Server restart (warm path): stamp-based buffer re-validation.
+
+        Instead of cold-flushing, each registered buffer's clean
+        resident ids are checked against fresh repository stamps
+        (:meth:`~repro.repository.repository.DesignDataRepository.describe_many`
+        — metadata only, no payload shipping).  Entries whose stamp
+        still matches stay resident and get a **new read lease**, so
+        coherence is restored without re-shipping a byte; stale or
+        vanished entries drop.  Buffers are processed in registration
+        order and ids in residence order — deterministic, and purely
+        synchronous (no kernel events: re-validation is part of the
+        restart instant).  Returns ``{workstation: {kept, dropped}}``.
+        """
+        describe_many = getattr(self.repository, "describe_many", None)
+        report: dict[str, dict[str, int]] = {}
+        for workstation, buffer in self._buffers.items():
+            clean = buffer.clean_ids()
+            if describe_many is not None:
+                descriptions = describe_many(clean)
+            else:
+                descriptions = {}
+                for dov_id in clean:
+                    if dov_id in self.repository:
+                        descriptions[dov_id] = \
+                            self.repository.describe(dov_id)
+            kept = buffer.revalidate(descriptions)
+            for dov_id in buffer.clean_ids():
+                self._leases.setdefault(dov_id, set()).add(workstation)
+            dropped = len(clean) - kept
+            report[workstation] = {"kept": kept, "dropped": dropped}
+            self._record("buffers_revalidated", workstation,
+                         kept=kept, dropped=dropped)
+        return report
 
     def _on_repository_commit(self, dov: DesignObjectVersion) -> None:
         """A version became durable: revoke the leases it supersedes.
@@ -350,10 +586,14 @@ class ServerTM:
             holders = self._leases.get(dov_id)
             if not holders:
                 continue
-            for workstation in sorted(holders):
+            # revoke BEFORE posting: a synchronous delivery can recall
+            # a dirty dependent whose flush re-enters this observer —
+            # with the lease already gone it cannot double-send
+            recipients = sorted(holders)
+            holders.clear()
+            for workstation in recipients:
                 self._post_invalidation(workstation, dov_id,
                                         superseded_by=dov.dov_id)
-            holders.clear()
 
     def _post_invalidation(self, workstation: str, dov_id: str,
                            superseded_by: str) -> None:
@@ -378,6 +618,17 @@ class ClientTM:
     Manages the internal structure of the DOPs running on its machine:
     contexts, savepoints, recovery points, suspend/resume, and the
     coordinator role in the checkin 2PC.
+
+    Kernel-event contract: local DOP bookkeeping (begin, work, save,
+    restore, suspend, resume, recovery points) schedules **no** kernel
+    events and touches **no** network state — it is invisible to the
+    event trace.  Network activity happens only on the checkout miss
+    path (one RPC + one sized async shipment), on write-through
+    checkin (RPC + sized upload + 2PC), and on :meth:`flush` (RPC +
+    one batched sized message + 2PC).  All of it is deterministic:
+    message order follows program order, async deliveries are kernel
+    events ordered by ``(time, priority, seq)``, so identically
+    seeded runs are trace-identical.
     """
 
     def __init__(self, workstation: str, server_tm: ServerTM,
@@ -386,7 +637,10 @@ class ClientTM:
                  policy: RecoveryPointPolicy | None = None,
                  trace: EventTrace | None = None,
                  protocol: CommitProtocol = CommitProtocol.PRESUMED_ABORT,
-                 buffer: ObjectBuffer | None = None) -> None:
+                 buffer: ObjectBuffer | None = None,
+                 write_back: bool = False,
+                 flush_interval: int | None = None,
+                 flush_on_end_dop: bool = True) -> None:
         self.workstation = workstation
         self.server_tm = server_tm
         self.rpc = rpc
@@ -396,13 +650,36 @@ class ClientTM:
         #: the workstation's DOV object buffer (None = caching off:
         #: every checkout re-ships its payload over the LAN)
         self.buffer = buffer
+        #: write-back mode: checkins stage dirty buffer entries and
+        #: ship later as one group checkin (requires a buffer)
+        self.write_back = write_back and buffer is not None
+        #: flush automatically when the dirty set reaches this many
+        #: entries (None/0 = only the other triggers); coalesced
+        #: checkins never inflate the count
+        self.flush_interval = flush_interval
+        #: flush the dirty set at End-of-DOP (the paper-shaped default)
+        self.flush_on_end_dop = flush_on_end_dop
         if buffer is not None:
             server_tm.register_buffer(workstation, buffer)
+            if self.write_back:
+                buffer.on_pressure = self._flush_on_trigger
+                buffer.on_recall = self._flush_on_trigger
         #: payload bytes fetched from the server (buffer misses and,
         #: with caching off, every checkout)
         self.bytes_fetched = 0
         #: simulated time spent shipping checkout payloads
         self.fetch_time = 0.0
+        #: group checkins shipped / checkins they carried / their bytes
+        self.flushes = 0
+        self.flushed_checkins = 0
+        self.bytes_flushed = 0
+        #: provisional id -> the later provisional id that coalesced it
+        self._superseded: dict[str, str] = {}
+        #: provisional id -> durable id (committed group checkins)
+        self._resolved: dict[str, str] = {}
+        #: reentrancy guard: a flush's own commit schedules
+        #: invalidations that could recall the flush mid-flight
+        self._flushing = False
         node = rpc.network.node(workstation)
         self.node = node
         self.recovery = RecoveryManager(node.stable, policy)
@@ -603,16 +880,30 @@ class ClientTM:
     def checkin(self, dop: DesignOperation, dot_name: str,
                 data: dict[str, Any] | None = None,
                 parents: list[str] | None = None) -> CheckinResult:
-        """Check in the derived DOV under two-phase commit.
+        """Check in the derived DOV.
 
-        On success the new DOV id is recorded on the DOP.  On an
-        integrity violation the result carries the server's reason —
-        the 'checkin failure' situation the client-TM "has to indicate
-        ... to the DM" (Sect.5.2).
+        **Write-through** (default): ships the payload as a sized LAN
+        message and runs the checkin 2PC immediately — one RPC, one
+        sized upload, one commit protocol per checkin.  On success the
+        new DOV id is recorded on the DOP.  On an integrity violation
+        the result carries the server's reason — the 'checkin failure'
+        situation the client-TM "has to indicate ... to the DM"
+        (Sect.5.2).
+
+        **Write-back** (``write_back=True``): zero network and zero
+        kernel events here — the version is staged as a *dirty*,
+        provisional buffer entry and ships with the next group flush
+        (End-of-DOP, lease recall, capacity pressure, flush interval,
+        or explicit :meth:`flush`).  Integrity validation is deferred
+        to the flush; a workstation crash before the flush drops the
+        entry (recovered from repository state).
         """
         dop.require("checkin")
         payload = data if data is not None else dict(dop.context.data)
         lineage = parents if parents is not None else list(dop.input_dovs)
+        if self.write_back and self.buffer is not None:
+            return self._checkin_write_back(dop, dot_name, payload,
+                                            lineage)
         txn_id = self.ids.next(f"txn-{self.workstation}")
         self.rpc.call(self.workstation, self.server_tm.node_id,
                       "request_checkin", txn_id, dop.da_id, dot_name,
@@ -640,6 +931,133 @@ class ClientTM:
         reason = self.server_tm.checkin_error(txn_id) or "2PC abort"
         self._record("checkin_failed", dop.dop_id, reason=reason)
         return CheckinResult(False, reason=reason, outcome=outcome)
+
+    # -- write-back: deferred checkin + group flush ---------------------------------
+
+    def _checkin_write_back(self, dop: DesignOperation, dot_name: str,
+                            payload: dict[str, Any],
+                            lineage: list[str]) -> CheckinResult:
+        """Stage a checkin as a dirty provisional buffer entry."""
+        resolved_lineage = [self.resolve(p) for p in lineage]
+        provisional_id = self.ids.next(f"wb-{self.workstation}")
+        dov = DesignObjectVersion(
+            dov_id=provisional_id, dot_name=dot_name,
+            data=dict(payload), created_by=dop.da_id,
+            created_at=self.clock.now,
+            parents=tuple(resolved_lineage))
+        record = {
+            "provisional_id": provisional_id,
+            "da_id": dop.da_id,
+            "dot_name": dot_name,
+            "data": payload,
+            "parents": resolved_lineage,
+            "dop_id": dop.dop_id,
+        }
+        before = {e.dov.dov_id for e in self.buffer.dirty_entries()}
+        self.buffer.put_dirty(dov, dop.da_id, record,
+                              now=self.clock.now)
+        # record which provisional ids this entry coalesced away, so
+        # stale handles (an earlier DOP's output_dov) keep resolving
+        for parent in resolved_lineage:
+            if parent in before \
+                    and parent not in self.buffer:
+                self._superseded[parent] = provisional_id
+        dop.output_dov = provisional_id
+        self._record("checkin_deferred", provisional_id,
+                     dop=dop.dop_id,
+                     dirty=len(self.buffer.dirty_entries()))
+        if self.flush_interval \
+                and len(self.buffer.dirty_entries()) \
+                >= self.flush_interval:
+            self.flush()
+        return CheckinResult(True, dov=dov, provisional=True)
+
+    def _flush_on_trigger(self) -> None:
+        """Buffer hook target (capacity pressure / lease recall)."""
+        if not self._flushing:
+            self.flush()
+
+    def flush(self) -> FlushResult:
+        """Ship the buffer's dirty set as one batched group checkin.
+
+        One control RPC carries the deferred checkin records, one
+        **sized batch message** carries their combined payload bytes
+        (`Network.post_batch` — the latency scales with the batch
+        total, not with the record count), and one 2PC commits the
+        whole batch atomically at the server.  On commit the buffer
+        rebinds the provisional entries to the durable versions the
+        server assigned (they stay resident under fresh leases) and
+        :meth:`resolve` learns the id mapping.  On abort — integrity
+        rejection or a server crash mid-batch — *nothing* becomes
+        durable; the entries stay dirty so a later flush (e.g. after
+        the server restarts) can retry.
+
+        Network activity is exactly the above; under the concurrent
+        kernel the batch message and the resulting lease invalidations
+        are ordinary timed events in deterministic batch order, so
+        identically seeded runs remain trace-identical.
+        """
+        if self.buffer is None:
+            return FlushResult(True, count=0)
+        dirty = self.buffer.dirty_entries()
+        if not dirty or self._flushing:
+            return FlushResult(True, count=0)
+        self._flushing = True
+        try:
+            records = [dict(entry.record) for entry in dirty]
+            sizes = [entry.size for entry in dirty]
+            txn_id = self.ids.next(f"txn-{self.workstation}")
+            self.rpc.call(self.workstation, self.server_tm.node_id,
+                          "request_group_checkin", txn_id, records,
+                          workstation=self.workstation, lease=True)
+            # the batched data ships workstation -> server as ONE
+            # sized message (the group-checkin direction of the
+            # data-shipping path; the RPC above is control traffic)
+            self.rpc.network.post_batch(
+                self.workstation, self.server_tm.node_id, lambda: None,
+                label=f"group-checkin:{txn_id}", sizes=sizes)
+            outcome = self.coordinator.execute(txn_id, [self.server_tm])
+            if not outcome.committed:
+                reason = self.server_tm.checkin_error(txn_id) \
+                    or "2PC abort"
+                self._record("flush_failed", txn_id, reason=reason,
+                             count=len(records))
+                return FlushResult(False, count=len(records),
+                                   reason=reason, outcome=outcome)
+            mapping = self.server_tm.group_mapping(txn_id)
+            repository = self.server_tm.repository
+            durable = {provisional: repository.read(durable_id)
+                       for provisional, durable_id in mapping.items()}
+            self.buffer.rebind(durable)
+            self._resolved.update(mapping)
+            for dop in self._active.values():
+                if dop.output_dov in mapping:
+                    dop.output_dov = mapping[dop.output_dov]
+            self.flushes += 1
+            self.flushed_checkins += len(records)
+            self.bytes_flushed += sum(sizes)
+            self._record("flush", txn_id, count=len(records),
+                         bytes=sum(sizes))
+            return FlushResult(True, count=len(records),
+                               bytes_shipped=sum(sizes),
+                               mapping=mapping, outcome=outcome)
+        finally:
+            self._flushing = False
+
+    def resolve(self, dov_id: str) -> str:
+        """The durable id a provisional (write-back) id ended up as.
+
+        Follows coalescing (a provisional version superseded before it
+        shipped forwards to its successor) and then the flush mapping;
+        ids that were never provisional come back unchanged.  Useful
+        to callers that stored a provisional handle (e.g. a DOP's
+        ``output_dov`` logged before the flush).
+        """
+        seen: set[str] = set()
+        while dov_id in self._superseded and dov_id not in seen:
+            seen.add(dov_id)
+            dov_id = self._superseded[dov_id]
+        return self._resolved.get(dov_id, dov_id)
 
     # -- End-of-DOP ------------------------------------------------------------------------------------
 
@@ -670,14 +1088,53 @@ class ClientTM:
 
     def commit_dop(self, dop: DesignOperation,
                    result: CheckinResult | None = None) -> None:
-        """End-of-DOP (commit): close processing after a final state."""
+        """End-of-DOP (commit): close processing after a final state.
+
+        In write-back mode this is flush trigger 1: the workstation's
+        dirty set ships as one group checkin *before* the Sect.5.2
+        close-out sequence runs, so the DOP's results are durable by
+        the time the DM is messaged.  The DOP's ``output_dov`` is
+        rewritten from its provisional to its durable id.
+
+        A *failed* flush (deferred integrity violation, 2PC abort)
+        raises :class:`TransactionError` instead of committing: the
+        DOP stays ACTIVE with its dirty entries intact, so the caller
+        can correct and retry the checkin — or :meth:`abort_dop`,
+        which discards them.  This is where write-back's deferred
+        validation surfaces; write-through reports the same failure
+        earlier, on the checkin itself.
+        """
         dop.require("commit")
+        if self.write_back and self.flush_on_end_dop:
+            flushed = self.flush()
+            if not flushed.success:
+                raise TransactionError(
+                    f"End-of-DOP flush of {dop.dop_id!r} aborted: "
+                    f"{flushed.reason}")
+        if dop.output_dov is not None:
+            dop.output_dov = self.resolve(dop.output_dov)
         self._finish(dop, DopState.COMMITTED,
                      result or CheckinResult(True, dov=None))
 
     def abort_dop(self, dop: DesignOperation, reason: str = "") -> None:
-        """End-of-DOP (abort): the DOP "will abort its activities"."""
+        """End-of-DOP (abort): the DOP "will abort its activities".
+
+        Unflushed write-back checkins of this DOP are discarded — they
+        never reached the server, so there is nothing to undo there.
+        The interval counter and the coalescing forward map retire the
+        discarded ids too, so a later DOP's first checkin does not
+        inherit a premature flush and :meth:`resolve` never forwards
+        to an id that can no longer become durable.
+        """
         dop.require("abort")
+        if self.write_back and self.buffer is not None:
+            discarded = set(self.buffer.discard_dirty(dop.dop_id))
+            if discarded:
+                self._superseded = {
+                    key: value for key, value
+                    in self._superseded.items()
+                    if key not in discarded
+                    and value not in discarded}
         self._finish(dop, DopState.ABORTED, CheckinResult(False,
                                                           reason=reason))
 
@@ -715,5 +1172,7 @@ def register_server_endpoints(rpc: TransactionalRpc,
     rpc.register(server_tm.node_id, "checkout", server_tm.checkout)
     rpc.register(server_tm.node_id, "request_checkin",
                  server_tm.request_checkin)
+    rpc.register(server_tm.node_id, "request_group_checkin",
+                 server_tm.request_group_checkin)
     rpc.register(server_tm.node_id, "release_derivation_locks",
                  server_tm.release_derivation_locks)

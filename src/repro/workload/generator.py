@@ -41,6 +41,10 @@ class SessionSpec:
     #: shared design objects each step checks out before it runs
     #: (one list per step; empty = the step reads nothing shared)
     reads: list[list[str]] = field(default_factory=list)
+    #: per-step write plan: True = the step derives and checks in a
+    #: new version of the session's own design object (empty = no
+    #: per-step plan; models then use their own write policy)
+    write_steps: list[bool] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         pass
@@ -48,6 +52,11 @@ class SessionSpec:
     def reads_at(self, step: int) -> list[str]:
         """Objects checked out at the start of *step* (may be empty)."""
         return list(self.reads[step]) if step < len(self.reads) else []
+
+    def writes_at(self, step: int) -> bool:
+        """True when the plan says *step* checks in a derived version."""
+        return self.write_steps[step] \
+            if step < len(self.write_steps) else False
 
     @property
     def dependency(self) -> Dependency | None:
@@ -74,6 +83,9 @@ class TeamWorkload:
 
     sessions: list[SessionSpec]
     seed: int = 0
+    #: write-back knob: a client-TM should group-flush after this many
+    #: deferred checkins (0 = flush only at End-of-DOP)
+    flush_interval: int = 0
 
     def session(self, session_id: str) -> SessionSpec:
         """Look up a session by id."""
@@ -119,7 +131,9 @@ def team_workload(team_size: int, steps_per_session: int = 4,
                   share_objects: bool = True,
                   reads_per_step: int = 0,
                   reread_locality: float = 0.0,
-                  object_pool: int = 4) -> TeamWorkload:
+                  object_pool: int = 4,
+                  write_ratio: float = 0.0,
+                  flush_interval: int = 0) -> TeamWorkload:
     """Generate a seeded chip-planning-style team workload.
 
     Session *i* (>0) consumes a preliminary result of session *i-1*
@@ -133,6 +147,15 @@ def team_workload(team_size: int, steps_per_session: int = 4,
     probability that a read revisits an object the designer already
     read (see :func:`_step_reads`) — the knob the T8 data-shipping
     experiment turns to make buffer hit rates non-trivial.
+
+    With ``write_ratio`` > 0 each step independently derives and
+    checks in a new version of the session's own design object with
+    that probability (the plan lands in
+    :attr:`SessionSpec.write_steps`); the last step of every session
+    always writes, so each designer produces at least one result.
+    ``flush_interval`` rides along on the workload for the write-back
+    experiments (T9): how many deferred checkins a client-TM batches
+    before group-flushing mid-DOP (0 = End-of-DOP only).
     """
     if team_size < 1:
         raise ValueError("team_size must be >= 1")
@@ -161,14 +184,21 @@ def team_workload(team_size: int, steps_per_session: int = 4,
             reads = [_step_reads(rng, history, reads_per_step,
                                  reread_locality, object_pool)
                      for _ in range(steps_per_session)]
+        write_steps: list[bool] = []
+        if write_ratio > 0:
+            write_steps = [rng.bernoulli(write_ratio)
+                           for _ in range(steps_per_session)]
+            write_steps[-1] = True  # every designer delivers a result
         sessions.append(SessionSpec(
             session_id=f"designer-{i}",
             step_durations=durations,
             writes=writes,
             dependencies=dependencies,
             reads=reads,
+            write_steps=write_steps,
         ))
-    return TeamWorkload(sessions=sessions, seed=seed)
+    return TeamWorkload(sessions=sessions, seed=seed,
+                        flush_interval=flush_interval)
 
 
 def integration_workload(team_size: int, steps_per_session: int = 3,

@@ -26,4 +26,4 @@ def test_scorecard_flag(capsys):
     assert main(["scorecard"]) == 0
     out = capsys.readouterr().out
     assert "SCORECARD" in out
-    assert "19/19" in out
+    assert "20/20" in out

@@ -1,0 +1,58 @@
+"""The docs tree exists and its relative cross-links resolve.
+
+Tier-1 mirror of the CI docs job: ``tools/check_links.py`` must pass
+from a clean checkout, and the documents the README promises must
+actually exist.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", ROOT / "tools" / "check_links.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    assert (ROOT / "docs" / "coherence.md").is_file()
+    assert (ROOT / "docs" / "architecture.md").is_file()
+    assert (ROOT / "examples" / "README.md").is_file()
+
+
+def test_readme_links_into_docs():
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/coherence.md" in readme
+    assert "docs/architecture.md" in readme
+    assert "examples/README.md" in readme
+
+
+def test_examples_catalog_covers_every_example():
+    catalog = (ROOT / "examples" / "README.md").read_text(
+        encoding="utf-8")
+    for script in sorted((ROOT / "examples").glob("*.py")):
+        assert script.name in catalog, \
+            f"examples/README.md does not list {script.name}"
+
+
+def test_all_relative_links_resolve(capsys):
+    checker = _load_checker()
+    assert checker.main([str(ROOT)]) == 0, capsys.readouterr().out
+
+
+def test_checker_flags_broken_links(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "see [missing](docs/missing.md) and [ok](docs/ok.md)\n",
+        encoding="utf-8")
+    (tmp_path / "docs" / "ok.md").write_text("fine\n", encoding="utf-8")
+    assert checker.main([str(tmp_path)]) == 1

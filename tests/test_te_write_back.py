@@ -1,0 +1,596 @@
+"""Write-back object buffers: deferred checkins, group flush, recovery.
+
+The PR-3 acceptance surface at the TE level: write-back checkins cost
+zero network events until a flush ships them as ONE batched, sized
+group checkin under a single 2PC; successive checkins of the same
+lineage coalesce before shipping; the batch commits atomically (an
+integrity failure or a server crash mid-batch leaves *nothing*
+durable); a workstation crash drops dirty data (recovered from
+repository state); and a server restart re-validates resident buffer
+entries by repository stamp instead of cold-flushing them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.repository.storage import VersionStore
+from repro.repository.versions import DesignObjectVersion
+from repro.sim.clock import SimClock
+from repro.te.locks import LockManager
+from repro.te.object_buffer import ObjectBuffer
+from repro.te.recovery import RecoveryPointPolicy
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.util.errors import StorageError, TransactionError
+from repro.util.ids import IdGenerator
+
+
+def make_rig(write_back: bool = True, capacity: int | None = None,
+             flush_interval: int | None = None):
+    """Client/server TM pair with write-back workstations (no kernel:
+    posted messages hand over synchronously)."""
+    clock = SimClock()
+    network = Network(clock, bandwidth=1000.0)
+    server_node = network.add_server()
+    network.add_workstation("ws-1")
+    network.add_workstation("ws-2")
+    rpc = TransactionalRpc(network)
+    ids = IdGenerator()
+    repo = DesignDataRepository(ids)
+    repo.register_dot(DesignObjectType("Cell", attributes=[
+        AttributeDef("area", AttributeKind.FLOAT, required=False)]))
+    repo.create_graph("da-1")
+    repo.create_graph("da-2")
+    # repository recovery registers BEFORE the server-TM hooks so a
+    # restart has fresh stamps by the time buffers re-validate
+    server_node.on_crash.append(lambda: repo.crash())
+    server_node.on_restart.append(lambda: repo.recover())
+    locks = LockManager()
+    server_tm = ServerTM(repo, locks, network, clock=clock)
+    server_tm.scope_check = lambda da_id, dov_id: True
+    register_server_endpoints(rpc, server_tm)
+    buffers = {name: ObjectBuffer(name, capacity_bytes=capacity,
+                                  policy="lru")
+               for name in ("ws-1", "ws-2")}
+    clients = {
+        name: ClientTM(name, server_tm, rpc, clock, ids,
+                       policy=RecoveryPointPolicy(interval=30.0),
+                       buffer=buffers[name], write_back=write_back,
+                       flush_interval=flush_interval)
+        for name in ("ws-1", "ws-2")}
+    dov0 = repo.checkin("da-1", "Cell", {"area": 100.0})
+    return {
+        "clock": clock, "network": network, "repo": repo,
+        "server_tm": server_tm, "clients": clients,
+        "buffers": buffers, "dov0": dov0,
+    }
+
+
+@pytest.fixture
+def rig():
+    return make_rig()
+
+
+class TestDeferredCheckin:
+    def test_checkin_is_local_and_provisional(self, rig):
+        client = rig["clients"]["ws-1"]
+        network = rig["network"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        sent = network.messages_sent
+        bytes_before = network.bytes_shipped
+        result = client.checkin(dop, "Cell", data={"area": 50.0},
+                                parents=[rig["dov0"].dov_id])
+        assert result.success and result.provisional
+        # zero network events, zero bytes: the checkin stayed local
+        assert network.messages_sent == sent
+        assert network.bytes_shipped == bytes_before
+        assert rig["buffers"]["ws-1"].entry(result.dov.dov_id).dirty
+        assert result.dov.dov_id not in rig["repo"]
+
+    def test_own_dirty_version_is_a_buffer_hit(self, rig):
+        client = rig["clients"]["ws-1"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        result = client.checkin(dop, "Cell", data={"area": 50.0},
+                                parents=[rig["dov0"].dov_id])
+        dop2 = client.begin_dop("da-1", "tool")
+        dov = client.checkout(dop2, result.dov.dov_id)
+        assert dov.data["area"] == 50.0
+
+    def test_coalescing_drops_superseded_intermediates(self, rig):
+        client = rig["clients"]["ws-1"]
+        buffer = rig["buffers"]["ws-1"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        r1 = client.checkin(dop, "Cell", data={"area": 50.0},
+                            parents=[rig["dov0"].dov_id])
+        r2 = client.checkin(dop, "Cell", data={"area": 25.0},
+                            parents=[r1.dov.dov_id])
+        # the intermediate vanished before ever shipping
+        assert len(buffer.dirty_entries()) == 1
+        assert buffer.coalesced == 1
+        assert r1.dov.dov_id not in buffer
+        # the survivor inherits the durable lineage
+        entry = buffer.entry(r2.dov.dov_id)
+        assert entry.record["parents"] == [rig["dov0"].dov_id]
+
+
+class TestGroupFlush:
+    def test_end_of_dop_flushes_one_batch(self, rig):
+        client = rig["clients"]["ws-1"]
+        network = rig["network"]
+        repo = rig["repo"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        r1 = client.checkin(dop, "Cell", data={"area": 50.0},
+                            parents=[rig["dov0"].dov_id])
+        r2 = client.checkin(dop, "Cell", data={"area": 25.0},
+                            parents=[r1.dov.dov_id])
+        client.commit_dop(dop, r2)
+        assert client.flushes == 1
+        assert network.batches_sent == 1
+        # coalescing: only ONE version became durable
+        durable = client.resolve(r2.dov.dov_id)
+        assert durable in repo
+        assert repo.read(durable).data["area"] == 25.0
+        assert client.resolve(r1.dov.dov_id) == durable
+        assert dop.output_dov == durable
+        # the flushed version stays resident, clean, under a lease
+        buffer = rig["buffers"]["ws-1"]
+        assert durable in buffer
+        assert not buffer.entry(durable).dirty
+        assert rig["server_tm"].lease_holders(durable) == {"ws-1"}
+        # the derivation graph extended exactly once
+        assert [d.dov_id for d in repo.graph("da-1").leaves()] \
+            == [durable]
+
+    def test_flush_invalidates_remote_superseded_copies(self, rig):
+        reader = rig["clients"]["ws-2"]
+        writer = rig["clients"]["ws-1"]
+        dov0 = rig["dov0"]
+        dop_r = reader.begin_dop("da-2", "tool")
+        reader.checkout(dop_r, dov0.dov_id)
+        assert dov0.dov_id in rig["buffers"]["ws-2"]
+        dop_w = writer.begin_dop("da-1", "tool")
+        writer.checkout(dop_w, dov0.dov_id)
+        result = writer.checkin(dop_w, "Cell", data={"area": 1.0},
+                                parents=[dov0.dov_id])
+        # nothing shipped yet: the reader's copy is still leased
+        assert dov0.dov_id in rig["buffers"]["ws-2"]
+        writer.commit_dop(dop_w, result)
+        # the flush committed the supersession: leases revoked
+        assert dov0.dov_id not in rig["buffers"]["ws-2"]
+        assert rig["server_tm"].lease_holders(dov0.dov_id) == set()
+
+    def test_flush_interval_triggers_mid_dop(self):
+        rig = make_rig(flush_interval=2)
+        client = rig["clients"]["ws-1"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        client.checkin(dop, "Cell", data={"area": 9.0},
+                       parents=[rig["dov0"].dov_id])
+        assert client.flushes == 0
+        client.checkin(dop, "Cell", data={"area": 8.0}, parents=[])
+        # the second deferred checkin crossed the interval
+        assert client.flushes == 1
+        assert len(rig["buffers"]["ws-1"].dirty_entries()) == 0
+
+    def test_capacity_pressure_triggers_flush(self):
+        rig = make_rig(capacity=60)
+        client = rig["clients"]["ws-1"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkin(dop, "Cell", data={"area": 1.0}, parents=[])
+        # 20 modelled bytes per version; the third put exceeds the
+        # 60-byte capacity while everything is pinned dirty
+        client.checkin(dop, "Cell", data={"area": 2.0}, parents=[])
+        client.checkin(dop, "Cell", data={"area": 3.0}, parents=[])
+        dop2 = client.begin_dop("da-1", "tool")
+        client.checkin(dop2, "Cell", data={"area": 4.0}, parents=[])
+        assert client.flushes >= 1
+
+    def test_lease_recall_triggers_flush(self, rig):
+        writer_wt = rig["clients"]["ws-2"]
+        writer_wt.write_back = False  # ws-2 ships eagerly
+        deferred = rig["clients"]["ws-1"]
+        dov0 = rig["dov0"]
+        dop = deferred.begin_dop("da-1", "tool")
+        deferred.checkout(dop, dov0.dov_id)
+        deferred.checkin(dop, "Cell", data={"area": 50.0},
+                         parents=[dov0.dov_id])
+        assert deferred.flushes == 0
+        # ws-2 supersedes dov0 eagerly -> invalidation recalls ws-1's
+        # leased copy, whose dirty entry derives from it -> auto-flush
+        dop_w = writer_wt.begin_dop("da-2", "tool")
+        writer_wt.checkout(dop_w, dov0.dov_id)
+        result = writer_wt.checkin(dop_w, "Cell", data={"area": 2.0},
+                                   parents=[dov0.dov_id])
+        assert result.success and not result.provisional
+        assert deferred.flushes == 1
+        assert len(rig["buffers"]["ws-1"].dirty_entries()) == 0
+
+    def test_recall_reentrancy_sends_one_invalidation_per_holder(self,
+                                                                 rig):
+        """A recall-triggered flush re-enters the commit observer in
+        synchronous rigs; leases are revoked before posting, so each
+        holder still receives exactly ONE invalidation for dov0."""
+        server_tm = rig["server_tm"]
+        writer_wt = rig["clients"]["ws-2"]
+        writer_wt.write_back = False
+        deferred = rig["clients"]["ws-1"]
+        dov0 = rig["dov0"]
+        # both workstations lease dov0; ws-1 has dirty work derived
+        # from it
+        dop_r = writer_wt.begin_dop("da-2", "tool")
+        writer_wt.checkout(dop_r, dov0.dov_id)
+        dop = deferred.begin_dop("da-1", "tool")
+        deferred.checkout(dop, dov0.dov_id)
+        deferred.checkin(dop, "Cell", data={"area": 50.0},
+                         parents=[dov0.dov_id])
+        posted: list[tuple[str, str]] = []
+        original = server_tm._post_invalidation
+
+        def spying_post(workstation, dov_id, superseded_by):
+            posted.append((workstation, dov_id))
+            return original(workstation, dov_id,
+                            superseded_by=superseded_by)
+
+        server_tm._post_invalidation = spying_post
+        dop_w = writer_wt.begin_dop("da-2", "tool")
+        writer_wt.checkout(dop_w, dov0.dov_id)
+        writer_wt.checkin(dop_w, "Cell", data={"area": 2.0},
+                          parents=[dov0.dov_id])
+        assert deferred.flushes == 1
+        # dov0 had two holders -> exactly ONE invalidation each, even
+        # though the nested flush re-entered the commit observer
+        assert posted.count(("ws-1", dov0.dov_id)) == 1
+        assert posted.count(("ws-2", dov0.dov_id)) == 1
+        assert server_tm.lease_holders(dov0.dov_id) == set()
+
+
+class TestGroupAtomicity:
+    def test_integrity_failure_aborts_the_whole_batch(self, rig):
+        client = rig["clients"]["ws-1"]
+        repo = rig["repo"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkin(dop, "Cell", data={"area": 10.0}, parents=[])
+        # schema violation: area must be a float
+        client.checkin(dop, "Cell", data={"area": "broken"},
+                       parents=[])
+        durable_before = repo.stats()["durable_versions"]
+        flushed = client.flush()
+        assert not flushed.success
+        assert "area" in flushed.reason
+        # atomic: the valid record did not slip through either
+        assert repo.stats()["durable_versions"] == durable_before
+        assert repo.stats()["staged_versions"] == 0
+        # the dirty set is intact for a later (corrected) retry
+        assert len(rig["buffers"]["ws-1"].dirty_entries()) == 2
+
+    def test_server_crash_mid_batch_leaves_nothing_durable(self, rig):
+        """Crash between prepare (staged) and commit: the staged batch
+        dies with the server's volatile state; after restart nothing
+        is durable and the retried flush commits everything."""
+        client = rig["clients"]["ws-1"]
+        server_tm = rig["server_tm"]
+        network = rig["network"]
+        repo = rig["repo"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        r1 = client.checkin(dop, "Cell", data={"area": 50.0},
+                            parents=[rig["dov0"].dov_id])
+        r2 = client.checkin(dop, "Cell", data={"area": 25.0},
+                            parents=[])
+        records = [dict(e.record) for e
+                   in rig["buffers"]["ws-1"].dirty_entries()]
+        txn_id = "txn-crash-test"
+        server_tm.request_group_checkin(txn_id, records,
+                                        workstation="ws-1", lease=True)
+        vote = server_tm.prepare(txn_id)
+        assert vote.value == "yes"
+        assert repo.stats()["staged_versions"] == 2
+        network.crash_node("server")
+        # volatile staging vanished with the server
+        assert repo.stats()["staged_versions"] == 0
+        network.restart_node("server")
+        # nothing from the batch became durable: recovery sees only
+        # the pre-batch frontier
+        assert repo.stats()["durable_versions"] == 1
+        assert all(r["provisional_id"] not in repo for r in records)
+        # the workstation still holds its dirty set: retry succeeds
+        server_tm._staged_groups.pop(txn_id, None)
+        flushed = client.flush()
+        assert flushed.success and flushed.count == 2
+        assert client.resolve(r1.dov.dov_id) in repo
+        assert client.resolve(r2.dov.dov_id) in repo
+
+    def test_commit_batch_is_one_forced_wal_write(self):
+        store = VersionStore()
+        for index in range(3):
+            store.stage(DesignObjectVersion(
+                f"dov-{index}", "Cell", {"area": float(index)},
+                "da-1", 0.0, ()))
+        forced_before = store.wal.forced_writes
+        store.commit_batch(["dov-0", "dov-1", "dov-2"])
+        assert store.wal.forced_writes == forced_before + 1
+        assert len(store) == 3
+
+    def test_commit_batch_missing_member_commits_nothing(self):
+        store = VersionStore()
+        store.stage(DesignObjectVersion("dov-0", "Cell", {}, "da-1",
+                                        0.0, ()))
+        with pytest.raises(StorageError):
+            store.commit_batch(["dov-0", "dov-ghost"])
+        assert len(store) == 0
+        assert store.staged_ids() == {"dov-0"}
+
+    def test_commit_batch_crash_before_force_loses_whole_batch(self):
+        """The batch's durability rides on ONE forced flush: a crash
+        before it must lose every record of the batch together."""
+        store = VersionStore()
+        for index in range(2):
+            store.stage(DesignObjectVersion(
+                f"dov-{index}", "Cell", {}, "da-1", 0.0, ()))
+        original_force = store.wal.force
+        store.wal.force = lambda: (_ for _ in ()).throw(
+            StorageError("power cut"))
+        with pytest.raises(StorageError):
+            store.commit_batch(["dov-0", "dov-1"])
+        store.wal.force = original_force
+        store.crash()
+        recovered = store.recover()
+        assert recovered == 0
+        assert len(store) == 0
+
+
+class TestCrashSemantics:
+    def test_workstation_crash_drops_dirty_data(self, rig):
+        """Determinism + recovery: unflushed checkins die with the
+        volatile buffer; repository state is untouched and recovery
+        starts from it, not from the buffer."""
+        client = rig["clients"]["ws-1"]
+        repo = rig["repo"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        client.checkin(dop, "Cell", data={"area": 50.0},
+                       parents=[rig["dov0"].dov_id])
+        durable_before = repo.stats()["durable_versions"]
+        rig["network"].crash_node("ws-1")
+        buffer = rig["buffers"]["ws-1"]
+        assert len(buffer) == 0
+        assert buffer.dirty_lost == 1
+        assert repo.stats()["durable_versions"] == durable_before
+        rig["network"].restart_node("ws-1")
+        # recovery re-derives from the durable frontier
+        dop2 = client.begin_dop("da-1", "tool")
+        dov = client.checkout(dop2, rig["dov0"].dov_id)
+        assert dov.data["area"] == 100.0
+
+    def test_abort_dop_discards_its_dirty_entries(self, rig):
+        client = rig["clients"]["ws-1"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        client.checkin(dop, "Cell", data={"area": 50.0},
+                       parents=[rig["dov0"].dov_id])
+        client.abort_dop(dop, "designer changed her mind")
+        assert len(rig["buffers"]["ws-1"].dirty_entries()) == 0
+        assert client.flushes == 0
+
+    def test_failed_end_of_dop_flush_does_not_commit_the_dop(self, rig):
+        """A deferred integrity violation surfaces at End-of-DOP: the
+        flush aborts, commit_dop raises, and the DOP stays ACTIVE with
+        its dirty entries so the designer can correct or abort."""
+        client = rig["clients"]["ws-1"]
+        repo = rig["repo"]
+        dop = client.begin_dop("da-1", "tool")
+        result = client.checkin(dop, "Cell", data={"area": "broken"},
+                                parents=[])
+        assert result.success and result.provisional  # deferred!
+        with pytest.raises(TransactionError, match="area"):
+            client.commit_dop(dop, result)
+        assert dop.state.value == "active"
+        assert repo.stats()["durable_versions"] == 1  # just dov0
+        assert len(rig["buffers"]["ws-1"].dirty_entries()) == 1
+        # the designer gives up: abort reclaims the dirty entry
+        client.abort_dop(dop, "cannot fix")
+        assert len(rig["buffers"]["ws-1"].dirty_entries()) == 0
+
+    def test_abort_dop_resets_interval_and_forward_map(self):
+        rig = make_rig(flush_interval=3)
+        client = rig["clients"]["ws-1"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        r1 = client.checkin(dop, "Cell", data={"area": 1.0},
+                            parents=[rig["dov0"].dov_id])
+        r2 = client.checkin(dop, "Cell", data={"area": 2.0},
+                            parents=[r1.dov.dov_id])  # coalesces r1
+        client.abort_dop(dop, "abandoned")
+        # the discarded lineage no longer forwards anywhere
+        assert client.resolve(r1.dov.dov_id) == r1.dov.dov_id
+        assert client.resolve(r2.dov.dov_id) == r2.dov.dov_id
+        # and a fresh DOP's checkins start a fresh interval count:
+        # two deferred checkins must NOT cross the 3-checkin interval
+        dop2 = client.begin_dop("da-1", "tool")
+        client.checkin(dop2, "Cell", data={"area": 3.0}, parents=[])
+        client.checkin(dop2, "Cell", data={"area": 4.0}, parents=[])
+        assert client.flushes == 0
+
+
+class TestRestartRevalidation:
+    def _warm(self, rig):
+        client = rig["clients"]["ws-1"]
+        dop = client.begin_dop("da-1", "tool")
+        client.checkout(dop, rig["dov0"].dov_id)
+        assert rig["dov0"].dov_id in rig["buffers"]["ws-1"]
+        return client
+
+    def test_flush_path_still_available(self, rig):
+        self._warm(rig)
+        rig["server_tm"].revalidate_on_restart = False
+        rig["network"].crash_node("server")
+        rig["network"].restart_node("server")
+        assert len(rig["buffers"]["ws-1"]) == 0
+
+    def test_revalidation_keeps_matching_stamps_and_releases(self, rig):
+        client = self._warm(rig)
+        network = rig["network"]
+        rig["server_tm"].revalidate_on_restart = True
+        network.crash_node("server")
+        assert rig["server_tm"].lease_holders(rig["dov0"].dov_id) \
+            == set()
+        network.restart_node("server")
+        buffer = rig["buffers"]["ws-1"]
+        # the entry survived and was re-leased, so the next read is
+        # local — zero re-shipped bytes
+        assert rig["dov0"].dov_id in buffer
+        assert buffer.revalidated == 1
+        assert rig["server_tm"].lease_holders(rig["dov0"].dov_id) \
+            == {"ws-1"}
+        bytes_before = network.bytes_shipped
+        dop = client.begin_dop("da-1", "tool")
+        dov = client.checkout(dop, rig["dov0"].dov_id)
+        assert dov.dov_id == rig["dov0"].dov_id
+        assert network.bytes_shipped == bytes_before
+
+    def test_revalidation_drops_stale_entries(self, rig):
+        self._warm(rig)
+        buffer = rig["buffers"]["ws-1"]
+        # a resident copy of a version the repository no longer knows
+        ghost = DesignObjectVersion("dov-ghost", "Cell", {"area": 1.0},
+                                    "da-1", 0.0, ())
+        buffer.put(ghost, "da-1")
+        rig["server_tm"].revalidate_on_restart = True
+        rig["network"].crash_node("server")
+        rig["network"].restart_node("server")
+        assert "dov-ghost" not in buffer
+        assert rig["dov0"].dov_id in buffer
+        assert buffer.revalidation_drops == 1
+
+
+class TestSystemRestartPaths:
+    """ConcordSystem.restart_server: warm default, cold opt-out."""
+
+    def _system(self, **kwargs):
+        from repro.bench.scenarios import make_vlsi_system
+
+        return make_vlsi_system(("ws-1",), trace=False, **kwargs)
+
+    def _warm_system(self):
+        from repro.bench.scenarios import chip_spec, make_vlsi_system
+        from repro.dc.script import DopStep, Script, Sequence
+        from repro.vlsi.tools import vlsi_dots
+
+        system = make_vlsi_system(("ws-1",), trace=False)
+        script = Script(Sequence(DopStep("structure_synthesis")), "s")
+        da = system.init_design(
+            vlsi_dots()["Chip"], chip_spec(60.0, 60.0), "alice",
+            script, "ws-1",
+            initial_data={"cell": "c", "level": "chip",
+                          "behavior": {"operations": ["a"]}})
+        system.start(da.da_id)
+        system.run(da.da_id)
+        client = system.client_tm("ws-1")
+        dov = system.repository.graph(da.da_id).leaves()[0]
+        dop = client.begin_dop(da.da_id, "warmup")
+        client.checkout(dop, dov.dov_id)
+        return system, dov
+
+    def test_restart_revalidates_by_default(self):
+        system, dov = self._warm_system()
+        buffer = system.object_buffer("ws-1")
+        assert dov.dov_id in buffer
+        system.crash_server()
+        system.restart_server()
+        # the durable version survived recovery; its warm copy too
+        assert dov.dov_id in buffer
+        assert buffer.revalidated >= 1
+
+    def test_restart_with_revalidate_false_flushes(self):
+        system, dov = self._warm_system()
+        buffer = system.object_buffer("ws-1")
+        system.crash_server()
+        system.restart_server(revalidate=False)
+        assert len(buffer) == 0
+
+
+class TestSystemWriteBack:
+    """ConcordSystem(write_back=True): the DM flow runs unchanged."""
+
+    def test_full_chip_design_flushes_per_end_of_dop(self):
+        from repro.bench.scenarios import (
+            make_vlsi_system,
+            run_full_chip_design,
+        )
+        from repro.core.system import ConcordSystem
+        from repro.te.recovery import RecoveryPointPolicy
+        from repro.vlsi.methodology import playout_constraints
+        from repro.vlsi.tools import register_vlsi_tools, vlsi_dots
+
+        system = ConcordSystem(
+            trace=False,
+            recovery_policy=RecoveryPointPolicy(interval=30.0),
+            write_back=True)
+        system.add_workstation("ws-1")
+        register_vlsi_tools(system.tools)
+        for dot in vlsi_dots().values():
+            system.repository.register_dot(dot)
+        system.constraints = playout_constraints()
+        da = run_full_chip_design(system)
+        client = system.client_tm("ws-1")
+        # every DOP's checkin deferred, then flushed at End-of-DOP;
+        # the derivation graph looks exactly like the write-through one
+        assert client.flushes == 5
+        assert client.flushed_checkins == 5
+        graph = system.repository.graph(da.da_id)
+        assert len(graph) == 6  # DOV0 + one version per tool step
+        assert len(graph.leaves()) == 1
+
+    def test_matches_write_through_derivation_graph(self):
+        from repro.bench.scenarios import run_full_chip_design
+        from repro.core.system import ConcordSystem
+        from repro.te.recovery import RecoveryPointPolicy
+        from repro.vlsi.methodology import playout_constraints
+        from repro.vlsi.tools import register_vlsi_tools, vlsi_dots
+
+        def build(write_back):
+            system = ConcordSystem(
+                trace=False,
+                recovery_policy=RecoveryPointPolicy(interval=30.0),
+                write_back=write_back)
+            system.add_workstation("ws-1")
+            register_vlsi_tools(system.tools)
+            for dot in vlsi_dots().values():
+                system.repository.register_dot(dot)
+            system.constraints = playout_constraints()
+            da = run_full_chip_design(system)
+            return system.repository.graph(da.da_id)
+
+        through, back = build(False), build(True)
+        assert through.ids() == back.ids()
+        assert [d.dov_id for d in through.leaves()] \
+            == [d.dov_id for d in back.leaves()]
+
+
+class TestWriteBackDeterminism:
+    def test_identically_seeded_runs_are_trace_identical(self):
+        from repro.bench.scenarios import write_back_scenario
+
+        first = write_back_scenario(team=2, write_back=True, seed=13,
+                                    restart=False)
+        second = write_back_scenario(team=2, write_back=True, seed=13,
+                                     restart=False)
+        assert first.signature == second.signature
+        assert first.bytes_shipped == second.bytes_shipped
+        assert first.makespan == second.makespan

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown docs.
+
+Scans ``README.md``, ``ROADMAP.md``, ``docs/*.md`` and
+``examples/README.md`` for markdown links/images and verifies that
+every **relative** target resolves to an existing file or directory
+(anchors are stripped; external ``http(s):``/``mailto:`` targets and
+bare in-page ``#anchors`` are skipped).  Exits non-zero listing every
+broken link — cheap enough to keep blocking in CI.
+
+Usage::
+
+    python tools/check_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: targets that are not this repo's business
+_EXTERNAL = re.compile(r"^(https?:|mailto:|ftp:)", re.IGNORECASE)
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The markdown files whose links this repo guarantees."""
+    files = [root / "README.md", root / "ROADMAP.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    files.extend(sorted((root / "examples").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: broken link "
+                    f"-> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]).resolve() if args \
+        else Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    if not files:
+        print(f"no markdown docs found under {root}")
+        return 2
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    checked = ", ".join(str(f.relative_to(root)) for f in files)
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken link(s) across: {checked}")
+        return 1
+    print(f"all relative links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
