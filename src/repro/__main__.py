@@ -2,7 +2,9 @@
 
 With no arguments, regenerates and prints every figure (F1-F8),
 experiment (T1-T9) and ablation (A1-A3); with arguments, only the named
-ones.
+ones.  ``python -m repro scorecard`` checks every expected shape;
+``python -m repro perf`` runs the zero-copy microbenchmark harness and
+emits ``BENCH_PERF.json`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -21,11 +23,19 @@ def main(argv: list[str] | None = None) -> int:
         card = run_scorecard()
         print(card.render())
         return 1 if card.data["failures"] else 0
+    if wanted & {"--PERF", "PERF"}:
+        from repro.bench.perf import DEFAULT_ARTIFACT, render, run_perf
+
+        report = run_perf(quick="--QUICK" in wanted or "QUICK" in wanted,
+                          emit_path=DEFAULT_ARTIFACT)
+        print(render(report))
+        print(f"note: wrote {DEFAULT_ARTIFACT}")
+        return 0 if report["acceptance"]["ok"] else 1
     drivers = {**ALL_FIGURES, **ALL_EXPERIMENTS, **ALL_ABLATIONS}
     unknown = wanted - set(drivers)
     if unknown:
         print(f"unknown experiments: {sorted(unknown)}; "
-              f"available: {sorted(drivers)} or 'scorecard'")
+              f"available: {sorted(drivers)}, 'scorecard' or 'perf'")
         return 2
     for name, driver in drivers.items():
         if wanted and name not in wanted:

@@ -1,0 +1,374 @@
+"""Microbenchmark harness for the zero-copy hot paths.
+
+Wall-clock throughput of the four hot paths the frozen-payload fast
+path optimises — buffer-hit checkout, write-through checkout/checkin
+round trips, group-checkin flushes, kernel event dispatch — plus the
+payload-sizing primitive itself.  Where the fast path changes the
+mechanics, each benchmark is measured twice: once with the frozen
+fast path on (the default production configuration) and once with the
+pre-freeze deepcopy baseline
+(:func:`~repro.repository.versions.payload_fast_path` ``(False)``),
+so every report carries its own in-harness speedup.
+
+``python -m repro perf`` (or ``python benchmarks/perf/run_perf.py``)
+runs the suite and emits ``BENCH_PERF.json`` at the repo root — the
+perf trajectory future PRs diff against with ``tools/bench_report.py``.
+All workloads are deterministic; only the wall-clock timings vary
+between machines, which is why the CI perf job is non-blocking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.repository.versions import (
+    DesignObjectVersion,
+    payload_fast_path,
+)
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel
+from repro.te.locks import LockManager
+from repro.te.object_buffer import ObjectBuffer
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.util.ids import IdGenerator
+
+#: schema version of the BENCH_PERF.json envelope
+SCHEMA = 1
+
+#: repo-root artifact file the harness emits by default
+DEFAULT_ARTIFACT = "BENCH_PERF.json"
+
+#: acceptance floor: buffer-hit checkout must beat the deepcopy
+#: baseline by at least this factor
+BUFFER_HIT_MIN_SPEEDUP = 3.0
+
+
+def _nested_payload(entries: int = 48, rev: int = 0) -> dict[str, Any]:
+    """A representative design payload: shallow top, bushy below.
+
+    Many container nodes (not just long strings) so the deepcopy
+    baseline pays a real recursive walk per operation.
+    """
+    return {
+        "name": f"cell-{rev}",
+        "meta": {"rev": rev, "tags": ["synth", "placed", "routed"]},
+        "tree": {
+            f"n{i}": {"v": i, "w": float(i), "s": "x" * 24}
+            for i in range(entries)
+        },
+    }
+
+
+def _make_rig(buffering: bool = True,
+              write_back: bool = False) -> dict[str, Any]:
+    """One workstation + server TE rig on a quiet (kernel-less) LAN."""
+    clock = SimClock()
+    network = Network(clock)
+    network.add_server()
+    repository = DesignDataRepository()
+    locks = LockManager()
+    server_tm = ServerTM(repository, locks, network, clock=clock)
+    server_tm.scope_check = lambda da_id, dov_id: True
+    rpc = TransactionalRpc(network)
+    register_server_endpoints(rpc, server_tm)
+    network.add_workstation("ws-1")
+    buffer = ObjectBuffer("ws-1") if buffering else None
+    client = ClientTM("ws-1", server_tm, rpc, clock, ids=IdGenerator(),
+                      buffer=buffer, write_back=write_back)
+    repository.register_dot(DesignObjectType("Cell", attributes=[
+        AttributeDef("name", AttributeKind.STRING),
+        AttributeDef("meta", AttributeKind.JSON),
+        AttributeDef("tree", AttributeKind.JSON),
+    ]))
+    repository.create_graph("da-1")
+    return {"clock": clock, "network": network, "repository": repository,
+            "server_tm": server_tm, "client": client, "buffer": buffer}
+
+
+def _best_ops_per_sec(run_ops: Callable[[], int], repeats: int) -> float:
+    """Best-of-*repeats* throughput of one measured workload."""
+    best = 0.0
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        ops = run_ops()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0.0:
+            best = max(best, ops / elapsed)
+    return best
+
+
+# -- the microbenchmarks -----------------------------------------------------
+
+
+def _measure_buffer_hit(ops: int, fast: bool, repeats: int) -> float:
+    """Buffer-hit checkouts per second (the zero-network read path)."""
+    with payload_fast_path(fast):
+        rig = _make_rig(buffering=True)
+        client: ClientTM = rig["client"]
+        dov0 = rig["repository"].checkin(
+            "da-1", "Cell", _nested_payload(), ())
+        warm = client.begin_dop("da-1", tool="bench")
+        client.checkout(warm, dov0.dov_id)  # the one miss: installs
+        client.drop_dop(warm)
+
+        def run_ops() -> int:
+            done = 0
+            while done < ops:
+                dop = client.begin_dop("da-1", tool="bench")
+                for _ in range(16):
+                    client.checkout(dop, dov0.dov_id)
+                done += 16
+                client.drop_dop(dop)
+            return done
+
+        return _best_ops_per_sec(run_ops, repeats)
+
+
+def _measure_write_through(ops: int, fast: bool, repeats: int) -> float:
+    """Uncached checkout+checkin round trips per second (RPC + 2PC +
+    WAL force per round — the write-through data-shipping path)."""
+    with payload_fast_path(fast):
+        rig = _make_rig(buffering=False)
+        client: ClientTM = rig["client"]
+        state = {"current": rig["repository"].checkin(
+            "da-1", "Cell", _nested_payload(), ()).dov_id, "rev": 0}
+
+        def run_ops() -> int:
+            for _ in range(ops):
+                dop = client.begin_dop("da-1", tool="bench")
+                client.checkout(dop, state["current"])
+                state["rev"] += 1
+                result = client.checkin(
+                    dop, "Cell", data=_nested_payload(rev=state["rev"]),
+                    parents=[state["current"]])
+                state["current"] = result.dov.dov_id
+                client.commit_dop(dop, result)
+            return ops
+
+        return _best_ops_per_sec(run_ops, repeats)
+
+
+def _measure_group_flush(flushes: int, batch: int, fast: bool,
+                         repeats: int) -> float:
+    """Group-checkin flushes per second (*batch* deferred checkins per
+    flush: one batched ship, one 2PC, one forced WAL write, rebind)."""
+    with payload_fast_path(fast):
+        rig = _make_rig(buffering=True, write_back=True)
+        client: ClientTM = rig["client"]
+        state = {"rev": 0}
+
+        def run_ops() -> int:
+            for _ in range(flushes):
+                dop = client.begin_dop("da-1", tool="bench")
+                for _ in range(batch):
+                    state["rev"] += 1
+                    client.checkin(dop, "Cell",
+                                   data=_nested_payload(rev=state["rev"]),
+                                   parents=[])
+                client.commit_dop(dop)  # End-of-DOP flush trigger
+            return flushes
+
+        return _best_ops_per_sec(run_ops, repeats)
+
+
+def _measure_kernel_events(events: int, repeats: int) -> float:
+    """Kernel events dispatched per second (schedule + trace + run,
+    with a cancellation mixed in every eighth event to exercise the
+    O(1) live-event accounting)."""
+
+    def run_ops() -> int:
+        kernel = Kernel(SimClock(), trace_events=False)
+        state = {"left": events}
+
+        def tick() -> None:
+            if state["left"] <= 0:
+                return
+            state["left"] -= 1
+            event = kernel.after(0.001, tick, label="tick")
+            if state["left"] % 8 == 0:
+                kernel.cancel(event)
+                state["left"] -= 1
+                kernel.after(0.001, tick, label="tick")
+
+        kernel.at(0.0, tick, label="seed")
+        kernel.run_until_quiescent(max_events=events * 2 + 16)
+        return kernel.executed
+
+    return _best_ops_per_sec(run_ops, repeats)
+
+
+def _measure_scorecard(fast: bool, repeats: int,
+                       quick: bool) -> float:
+    """Full scorecard runs per second — the end-to-end wall-clock
+    claim: every figure/experiment driver, frozen vs deepcopy.  Quick
+    mode restricts the card to the data-shipping experiments."""
+    from repro.bench.scorecard import run_scorecard
+
+    only = {"T8", "T9"} if quick else None
+
+    def run_ops() -> int:
+        card = run_scorecard(only=only)
+        assert card.data["failures"] == 0
+        return 1
+
+    with payload_fast_path(fast):
+        return _best_ops_per_sec(run_ops, repeats)
+
+
+def _measure_sizing(ops: int, fast: bool, repeats: int) -> float:
+    """``payload_size`` accesses per second: cached stamp vs the
+    recursive re-walk of the pre-freeze property."""
+    with payload_fast_path(fast):
+        dov = DesignObjectVersion(
+            "dov-bench", "Cell", _nested_payload(), "da-1", 0.0)
+
+        def run_ops() -> int:
+            total = 0
+            for _ in range(ops):
+                total += dov.payload_size
+            return ops if total else ops
+
+        return _best_ops_per_sec(run_ops, repeats)
+
+
+# -- the suite ---------------------------------------------------------------
+
+
+def run_perf(quick: bool = False, repeats: int = 3,
+             emit_path: str | Path | None = None) -> dict[str, Any]:
+    """Run every microbenchmark; optionally emit the JSON artifact.
+
+    ``quick=True`` shrinks the op counts (smoke-test mode for the
+    tier-1 suite); timings then say nothing, but the report structure
+    and the workloads are identical.
+    """
+    scale = 0.05 if quick else 1.0
+
+    def n(full: int, floor: int = 8) -> int:
+        return max(int(full * scale), floor)
+
+    benchmarks: dict[str, dict[str, Any]] = {}
+
+    def contrast(name: str, description: str, ops: int,
+                 measure: Callable[[bool], float]) -> None:
+        fast = measure(True)
+        baseline = measure(False)
+        benchmarks[name] = {
+            "description": description,
+            "ops": ops,
+            "ops_per_sec": round(fast, 2),
+            "baseline_ops_per_sec": round(baseline, 2),
+            "speedup_vs_deepcopy_baseline":
+                round(fast / baseline, 2) if baseline else None,
+        }
+
+    ops = n(4800, 32)
+    contrast(
+        "checkout_buffer_hit",
+        "buffer-hit checkouts/sec: frozen zero-copy install vs the "
+        "deepcopy-per-read baseline",
+        ops, lambda fast: _measure_buffer_hit(ops, fast, repeats))
+
+    rounds = n(320)
+    contrast(
+        "checkout_checkin_write_through",
+        "uncached checkout+checkin round trips/sec (RPC + sized "
+        "shipment + 2PC + forced WAL write per round)",
+        rounds, lambda fast: _measure_write_through(rounds, fast, repeats))
+
+    flushes, batch = n(48), 16
+    contrast(
+        "group_checkin_flush",
+        f"write-back group flushes/sec ({batch} deferred checkins per "
+        "flush: one batched ship, one 2PC, one WAL force, rebind)",
+        flushes,
+        lambda fast: _measure_group_flush(flushes, batch, fast, repeats))
+    benchmarks["group_checkin_flush"]["batch"] = batch
+    fps = benchmarks["group_checkin_flush"]["ops_per_sec"]
+    benchmarks["group_checkin_flush"]["flush_latency_ms"] = \
+        round(1000.0 / fps, 3) if fps else None
+
+    events = n(24000, 256)
+    benchmarks["kernel_events"] = {
+        "description": "kernel events dispatched/sec (schedule + run + "
+                       "O(1) pending accounting, cancels mixed in)",
+        "ops": events,
+        "ops_per_sec": round(_measure_kernel_events(events, repeats), 2),
+    }
+
+    sizings = n(4000, 64)
+    contrast(
+        "payload_sizing",
+        "DesignObjectVersion.payload_size accesses/sec: cached "
+        "one-walk stamp vs recursive re-walk per access",
+        sizings, lambda fast: _measure_sizing(sizings, fast, repeats))
+
+    contrast(
+        "scorecard_wall_clock",
+        "full reproduction-scorecard runs/sec (every driver, end to "
+        "end) — the whole-system wall-clock effect of the fast path",
+        1, lambda fast: _measure_scorecard(fast, repeats, quick))
+    card = benchmarks["scorecard_wall_clock"]
+    card["wall_seconds"] = \
+        round(1.0 / card["ops_per_sec"], 3) if card["ops_per_sec"] else None
+    card["baseline_wall_seconds"] = \
+        round(1.0 / card["baseline_ops_per_sec"], 3) \
+        if card["baseline_ops_per_sec"] else None
+
+    hit = benchmarks["checkout_buffer_hit"]
+    report = {
+        "schema": SCHEMA,
+        "suite": "repro.bench.perf",
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "acceptance": {
+            "buffer_hit_min_speedup": BUFFER_HIT_MIN_SPEEDUP,
+            "buffer_hit_speedup": hit["speedup_vs_deepcopy_baseline"],
+            "ok": (hit["speedup_vs_deepcopy_baseline"] or 0.0)
+            >= BUFFER_HIT_MIN_SPEEDUP,
+        },
+        "benchmarks": benchmarks,
+    }
+    if emit_path is not None:
+        Path(emit_path).write_text(
+            json.dumps(report, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8")
+    return report
+
+
+def render(report: dict[str, Any]) -> str:
+    """One-screen text rendering of a perf report."""
+    lines = [f"== PERF: zero-copy hot paths "
+             f"({report['mode']}, repeats={report['repeats']}) =="]
+    for name, bench in report["benchmarks"].items():
+        lines.append(f"{name:32s} {bench['ops_per_sec']:>12,.0f} ops/s"
+                     + (f"  ({bench['speedup_vs_deepcopy_baseline']:.2f}x "
+                        f"vs deepcopy baseline)"
+                        if bench.get("speedup_vs_deepcopy_baseline")
+                        else ""))
+    acceptance = report["acceptance"]
+    lines.append(
+        f"acceptance: buffer-hit speedup "
+        f"{acceptance['buffer_hit_speedup']:.2f}x "
+        f">= {acceptance['buffer_hit_min_speedup']:.1f}x -> "
+        + ("OK" if acceptance["ok"] else "FAIL"))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry
+    print(render(run_perf(emit_path=DEFAULT_ARTIFACT)))

@@ -51,9 +51,16 @@ def _is_immutable(value: Any, _depth: int = 0) -> bool:
     to :data:`IMMUTABLE_CHECK_MAX_DEPTH` levels of nesting.  At the
     cap the answer deliberately flips to False: deeper structures just
     take the copy, so the guard can never leak a live reference.
+
+    Frozen design payloads short-circuit via their structural marker
+    (``__frozen_payload__``, set by the repository's freeze walk) —
+    O(1), no recursive inspection, and no ``net -> repository`` import:
+    the marker is the whole protocol.
     """
     if type(value) in _IMMUTABLE_SCALARS:
         # exact types only: subclasses (str-enums, ...) take the copy
+        return True
+    if getattr(type(value), "__frozen_payload__", False):
         return True
     if _depth < IMMUTABLE_CHECK_MAX_DEPTH \
             and type(value) in (tuple, frozenset):

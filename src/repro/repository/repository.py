@@ -25,7 +25,11 @@ from typing import Any, Callable, Iterator
 
 from repro.repository.schema import DesignObjectType
 from repro.repository.storage import VersionStore
-from repro.repository.versions import DerivationGraph, DesignObjectVersion
+from repro.repository.versions import (
+    DerivationGraph,
+    DesignObjectVersion,
+    adopt_payload,
+)
 from repro.repository.wal import LogRecordKind, WriteAheadLog
 from repro.util.errors import (
     IntegrityError,
@@ -167,7 +171,10 @@ class DesignDataRepository:
         dov = DesignObjectVersion(
             dov_id=self.ids.next("dov"),
             dot_name=dot_name,
-            data=dict(data),
+            # a payload the client already froze is adopted as-is: the
+            # durable version then *shares* the immutable data (and its
+            # cached size) with the shipped copy — zero re-walk
+            data=adopt_payload(data),
             created_by=da_id,
             created_at=created_at,
             parents=parents,
@@ -276,7 +283,8 @@ class DesignDataRepository:
             checkpoint_lsn = latest.lsn
             dovs = [DesignObjectVersion(
                 dov_id=raw["dov_id"], dot_name=raw["dot"],
-                data=dict(raw["data"]), created_by=raw["created_by"],
+                data=adopt_payload(raw["data"]),
+                created_by=raw["created_by"],
                 created_at=raw["created_at"],
                 parents=tuple(raw["parents"]),
             ) for raw in latest.payload["dovs"]]
@@ -300,7 +308,7 @@ class DesignDataRepository:
                 payload = record.payload
                 dov = DesignObjectVersion(
                     dov_id=payload["dov_id"], dot_name=payload["dot"],
-                    data=dict(payload["data"]),
+                    data=adopt_payload(payload["data"]),
                     created_by=payload["created_by"],
                     created_at=payload["created_at"],
                     parents=tuple(payload["parents"]))

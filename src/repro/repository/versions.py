@@ -12,6 +12,7 @@ several inputs).
 from __future__ import annotations
 
 import copy
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -22,6 +23,155 @@ _SCALAR_BYTES = 8
 #: modelled per-entry container overhead (keys, length words, pointers)
 _CONTAINER_OVERHEAD = 8
 
+#: module switch of the frozen-payload fast path.  On (the default),
+#: every :class:`DesignObjectVersion` deep-freezes its payload once at
+#: construction and stamps the cached modelled size; off reproduces
+#: the pre-freeze behaviour exactly (mutable payload dict, deepcopy on
+#: :meth:`DesignObjectVersion.copy_data`, a full recursive walk on
+#: every ``payload_size`` access) — the in-harness baseline of
+#: ``benchmarks/perf`` and the reference side of the determinism guard.
+_FAST_PATH = True
+
+#: count of *actual* recursive sizing/freezing walks (cache hits do not
+#: count) — the counting hook of the one-walk-per-DOV regression tests.
+_WALKS = {"sizeof": 0, "freeze": 0}
+
+
+def payload_fast_path_enabled() -> bool:
+    """True while the frozen-payload fast path is switched on."""
+    return _FAST_PATH
+
+
+def set_payload_fast_path(enabled: bool) -> bool:
+    """Switch the fast path on/off; returns the previous setting."""
+    global _FAST_PATH
+    previous = _FAST_PATH
+    _FAST_PATH = bool(enabled)
+    return previous
+
+
+@contextmanager
+def payload_fast_path(enabled: bool = True):
+    """Scoped fast-path switch (the benchmark/guard compat flag)."""
+    previous = set_payload_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_payload_fast_path(previous)
+
+
+def payload_walks() -> dict[str, int]:
+    """Snapshot of the recursive-walk counters (regression hook).
+
+    ``sizeof`` counts full :func:`payload_sizeof` walks that could not
+    be served from a frozen container's cached size; ``freeze`` counts
+    :func:`freeze_payload` walks.  A frozen DOV costs exactly one
+    ``freeze`` walk over its lifetime — every later sizing is O(1).
+    """
+    return dict(_WALKS)
+
+
+class FrozenDict(dict):
+    """An immutable, payload-sized dict — the frozen canonical form.
+
+    A :class:`dict` subclass (so schema validation, JSON encoding and
+    equality with plain dicts keep working unchanged) whose mutators
+    all raise, carrying the modelled payload size computed at
+    construction.  ``copy.deepcopy``/``copy.copy`` return the instance
+    itself — the zero-copy contract: no reference to a frozen payload
+    can ever observe a mutation, so sharing is always safe.
+
+    The size stamp is computed in ``__init__`` (members that are
+    already frozen answer in O(1), so the freeze walk stays a single
+    walk overall) — a directly constructed instance therefore carries
+    a correct size too, never a stale default.  Note: construction
+    does *not* deep-freeze its members; use :func:`freeze_payload`
+    for arbitrary nested data.
+    """
+
+    #: structural marker checked by the storage/network fast paths
+    __frozen_payload__ = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._frozen_size = sum(
+            _sizeof(key) + _sizeof(value) + _CONTAINER_OVERHEAD
+            for key, value in self.items())
+
+    def _immutable(self, *args: Any, **kwargs: Any) -> Any:
+        raise TypeError("frozen design payload is immutable")
+
+    __setitem__ = __delitem__ = _immutable
+    clear = pop = popitem = setdefault = update = _immutable
+    __ior__ = _immutable
+
+    def __deepcopy__(self, memo: dict) -> "FrozenDict":
+        return self
+
+    def __copy__(self) -> "FrozenDict":
+        return self
+
+    def __reduce__(self):
+        return (FrozenDict, (dict(self),))
+
+
+class FrozenList(list):
+    """An immutable, payload-sized list — frozen canonical sequences.
+
+    Mirrors :class:`FrozenDict` for list payload values: still a
+    ``list`` (type checks and equality with plain lists hold), but
+    every mutator raises and deep copies return the instance itself.
+    """
+
+    __frozen_payload__ = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._frozen_size = sum(
+            _sizeof(item) + _CONTAINER_OVERHEAD for item in self)
+
+    def _immutable(self, *args: Any, **kwargs: Any) -> Any:
+        raise TypeError("frozen design payload is immutable")
+
+    __setitem__ = __delitem__ = __iadd__ = __imul__ = _immutable
+    append = extend = insert = pop = remove = _immutable
+    sort = reverse = clear = _immutable
+
+    def __deepcopy__(self, memo: dict) -> "FrozenList":
+        return self
+
+    def __copy__(self) -> "FrozenList":
+        return self
+
+    def __reduce__(self):
+        return (FrozenList, (list(self),))
+
+
+_FROZEN_CONTAINERS = (FrozenDict, FrozenList)
+
+
+def is_frozen_payload(value: Any) -> bool:
+    """True when *value* is a frozen payload container (zero-copy safe)."""
+    return type(value) in _FROZEN_CONTAINERS
+
+
+def adopt_payload(data: Any) -> Any:
+    """Adopt a frozen payload as-is; shallow-copy a mutable one.
+
+    The single adopt-or-copy rule of every DOV (re)construction site —
+    staging a client-frozen checkin, WAL redo, checkpoint restore: a
+    frozen payload is shared (byte-identical and immutable, so the
+    copy would buy nothing), anything else keeps the defensive copy.
+    """
+    return data if is_frozen_payload(data) else dict(data)
+
+
+def _frozen_size_of(value: Any) -> int | None:
+    """Cached modelled size when *value* is frozen, else None."""
+    if type(value) in _FROZEN_CONTAINERS:
+        return value._frozen_size
+    return None
+
 
 def payload_sizeof(value: Any) -> int:
     """Deterministic modelled size (in bytes) of a design payload.
@@ -31,7 +181,22 @@ def payload_sizeof(value: Any) -> int:
     :data:`_SCALAR_BYTES`, containers add a small per-entry overhead.
     The measure is stable across processes (unlike ``sys.getsizeof``),
     which keeps identically seeded simulations byte-identical.
+
+    Frozen payload containers short-circuit to the size cached during
+    their freeze walk — O(1), no recursion, and the answer is exactly
+    what the full walk would compute.
     """
+    size = _frozen_size_of(value)
+    if size is not None:
+        return size
+    _WALKS["sizeof"] += 1
+    return _sizeof(value)
+
+
+def _sizeof(value: Any) -> int:
+    size = _frozen_size_of(value)
+    if size is not None:
+        return size
     if isinstance(value, str):
         return len(value)
     if isinstance(value, (bytes, bytearray)):
@@ -39,13 +204,75 @@ def payload_sizeof(value: Any) -> int:
     if isinstance(value, (bool, int, float)) or value is None:
         return _SCALAR_BYTES
     if isinstance(value, dict):
-        return sum(payload_sizeof(k) + payload_sizeof(v)
+        return sum(_sizeof(k) + _sizeof(v)
                    + _CONTAINER_OVERHEAD for k, v in value.items())
     if isinstance(value, (list, tuple, set, frozenset)):
-        return sum(payload_sizeof(item) + _CONTAINER_OVERHEAD
+        return sum(_sizeof(item) + _CONTAINER_OVERHEAD
                    for item in value)
     # unknown objects: flat scalar cost (keeps the model total)
     return _SCALAR_BYTES
+
+
+def freeze_payload(value: Any) -> Any:
+    """Deep-freeze a design payload in one walk, caching its size.
+
+    Dicts become :class:`FrozenDict`, lists :class:`FrozenList`, sets
+    ``frozenset``, ``bytearray`` becomes ``bytes``; scalars, tuples of
+    frozen values and already-frozen containers pass through.  The
+    single walk also computes the modelled payload size bottom-up, so
+    a frozen container answers :func:`payload_sizeof` in O(1) — the
+    zero-copy hot-path invariant: freeze once at DOV creation, never
+    deep-copy or re-walk afterwards.
+    """
+    if type(value) in _FROZEN_CONTAINERS:
+        return value
+    _WALKS["freeze"] += 1
+    frozen, _ = _freeze(value)
+    return frozen
+
+
+def _freeze(value: Any) -> tuple[Any, int]:
+    size = _frozen_size_of(value)
+    if size is not None:
+        return value, size
+    if isinstance(value, str):
+        return value, len(value)
+    if isinstance(value, bytes):
+        return value, len(value)
+    if isinstance(value, bytearray):
+        return bytes(value), len(value)
+    if isinstance(value, (bool, int, float)) or value is None:
+        return value, _SCALAR_BYTES
+    if isinstance(value, dict):
+        # members freeze first, so the constructor's size stamp reads
+        # each member's cached size in O(1) — still one walk overall
+        frozen_dict = FrozenDict(
+            (_freeze(key)[0], _freeze(item)[0])
+            for key, item in value.items())
+        return frozen_dict, frozen_dict._frozen_size
+    if isinstance(value, list):
+        frozen_list = FrozenList(_freeze(item)[0] for item in value)
+        return frozen_list, frozen_list._frozen_size
+    if isinstance(value, tuple):
+        # tuples stay tuples (hashable members stay hashable); only
+        # their members are frozen
+        members = [_freeze(item) for item in value]
+        total = sum(item_size + _CONTAINER_OVERHEAD
+                    for _, item_size in members)
+        if all(frozen is item
+               for (frozen, _), item in zip(members, value)):
+            return value, total
+        return tuple(frozen for frozen, _ in members), total
+    if isinstance(value, (set, frozenset)):
+        members = [_freeze(item) for item in value]
+        total = sum(item_size + _CONTAINER_OVERHEAD
+                    for _, item_size in members)
+        return frozenset(frozen for frozen, _ in members), total
+    # unknown objects: flat scalar cost — but *copied*, not shared:
+    # they may be mutable, and every zero-copy short-circuit
+    # downstream trusts that nothing reachable from a frozen payload
+    # can change (the seed path deep-copied them at each boundary)
+    return copy.deepcopy(value), _SCALAR_BYTES
 
 
 @dataclass(frozen=True)
@@ -77,8 +304,30 @@ class DesignObjectVersion:
     created_at: float
     parents: tuple[str, ...] = ()
 
+    def __post_init__(self) -> None:
+        # deep-freeze the payload once at creation (the zero-copy hot
+        # path): the one walk both canonicalises the data and caches
+        # the modelled size.  Already-frozen data (group checkins, WAL
+        # redo, dataclasses.replace) is adopted without any walk.
+        data = self.data
+        if type(data) is FrozenDict:
+            object.__setattr__(self, "_payload_size", data._frozen_size)
+        elif _FAST_PATH:
+            frozen = freeze_payload(data)
+            object.__setattr__(self, "data", frozen)
+            object.__setattr__(self, "_payload_size",
+                               frozen._frozen_size)
+
     def copy_data(self) -> dict[str, Any]:
-        """Deep copy of the payload (checkout hands tools a private copy)."""
+        """The payload as a private-by-construction mapping.
+
+        A frozen payload is returned as-is — it cannot be mutated
+        through any reference, so sharing it *is* handing out a
+        private copy, without the recursive deepcopy walk.  Unfrozen
+        payloads (fast path off) keep the seed's deep copy.
+        """
+        if is_frozen_payload(self.data):
+            return self.data
         return copy.deepcopy(self.data)
 
     @property
@@ -87,9 +336,17 @@ class DesignObjectVersion:
 
         Drives the size-aware shipping cost of checkout fetches over
         the simulated LAN (workstation object buffers pay this once
-        per miss instead of once per read).
+        per miss instead of once per read).  Cached: the freeze walk
+        at construction computed it, so this is an O(1) lookup — no
+        recursive re-walk per access.
         """
-        return payload_sizeof(self.data)
+        size = self.__dict__.get("_payload_size")
+        if size is not None:
+            return size
+        size = payload_sizeof(self.data)
+        if _FAST_PATH:
+            object.__setattr__(self, "_payload_size", size)
+        return size
 
     @property
     def stamp(self) -> tuple[str, float]:

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterator
 
+from repro.repository.versions import is_frozen_payload
+
 
 class LogRecordKind(str, Enum):
     """Record types used across the activity managers."""
@@ -68,15 +70,35 @@ class WriteAheadLog:
         self._next_lsn = 1
         #: number of force() calls that actually flushed something
         self.forced_writes = 0
+        #: deep copies skipped because a payload value was frozen
+        self.copies_saved = 0
 
     # -- writing ------------------------------------------------------------
+
+    def _snapshot_payload(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Defensive copy of a record payload, zero-copy for frozen values.
+
+        The WAL must never share mutable state with its callers (a
+        later in-place edit would corrupt the durable history), hence
+        the deep copy — but frozen payload values cannot be mutated
+        through any reference, so they are shared as-is and the walk
+        is skipped (:attr:`copies_saved` counts the skips).
+        """
+        snapshot: dict[str, Any] = {}
+        for key, value in payload.items():
+            if is_frozen_payload(value):
+                snapshot[key] = value
+                self.copies_saved += 1
+            else:
+                snapshot[key] = copy.deepcopy(value)
+        return snapshot
 
     def append(self, kind: LogRecordKind,
                payload: dict[str, Any] | None = None,
                force: bool = False) -> LogRecord:
         """Append a record; optionally force it to stable storage."""
         record = LogRecord(self._next_lsn, kind,
-                           copy.deepcopy(payload or {}))
+                           self._snapshot_payload(payload or {}))
         self._next_lsn += 1
         self._volatile.append(record)
         if force:

@@ -98,22 +98,31 @@ def specify(context: DopContext, params: dict[str, Any]) -> None:
 
 
 def edit(context: DopContext, params: dict[str, Any]) -> None:
-    """Write source code; a seeded fraction of edits plants defects."""
+    """Write source code; a seeded fraction of edits plants defects.
+
+    Copy-on-write over the checked-out state: payloads arriving via
+    checkout are frozen, so the tool derives fresh unit dicts instead
+    of mutating them in place.
+    """
     sources = context.data.get("sources")
     if not sources:
         raise WorkflowError("edit needs sources (run specify first)")
     rng = SeededRng(int(params.get("seed", 0)))
     defect_rate = float(params.get("defect_rate", 0.3))
     lines_per_unit = int(params.get("lines", 100))
-    for unit in sources.values():
+    edited = {}
+    for name, unit in sources.items():
+        unit = dict(unit)
         unit["lines"] += lines_per_unit
         if rng.bernoulli(defect_rate):
             unit["syntax_defects"] += 1
         if rng.bernoulli(defect_rate):
             unit["logic_defects"] += 1
+        edited[name] = unit
+    context.data["sources"] = edited
     context.data["defects"] = sum(
         u["syntax_defects"] + u["logic_defects"]
-        for u in sources.values())
+        for u in edited.values())
 
 
 def compile_units(context: DopContext, params: dict[str, Any]) -> None:
@@ -129,8 +138,9 @@ def compile_units(context: DopContext, params: dict[str, Any]) -> None:
         else:
             objects[name] = {"from": name, "size": unit["lines"] * 4}
     context.data["objects"] = objects
-    context.data.setdefault("test_report", {})
-    context.data["test_report"]["compile_failures"] = failed
+    report = dict(context.data.get("test_report") or {})
+    report["compile_failures"] = failed
+    context.data["test_report"] = report
 
 
 def unit_test(context: DopContext, params: dict[str, Any]) -> None:
@@ -143,9 +153,10 @@ def unit_test(context: DopContext, params: dict[str, Any]) -> None:
              for name in objects}
     tested = len(objects)
     total_units = len(sources)
-    report = context.data.setdefault("test_report", {})
+    report = dict(context.data.get("test_report") or {})
     report["defects_found"] = found
     report["failures"] = sum(found.values())
+    context.data["test_report"] = report
     context.data["coverage"] = round(tested / total_units, 3) \
         if total_units else 0.0
 
@@ -156,16 +167,20 @@ def debug(context: DopContext, params: dict[str, Any]) -> None:
     if not sources:
         raise WorkflowError("debug needs sources")
     fixes = int(params.get("fixes", 10_000))
-    for unit in sources.values():
+    fixed = {}
+    for name, unit in sources.items():
+        unit = dict(unit)
         while fixes > 0 and unit.get("syntax_defects", 0) > 0:
             unit["syntax_defects"] -= 1
             fixes -= 1
         while fixes > 0 and unit.get("logic_defects", 0) > 0:
             unit["logic_defects"] -= 1
             fixes -= 1
+        fixed[name] = unit
+    context.data["sources"] = fixed
     context.data["defects"] = sum(
         u["syntax_defects"] + u["logic_defects"]
-        for u in sources.values())
+        for u in fixed.values())
 
 
 def integrate(context: DopContext, params: dict[str, Any]) -> None:

@@ -28,6 +28,9 @@ class _ScheduledEvent:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: True once the event left the queue (executed or discarded) —
+    #: guards the live counter against cancels of finished events
+    done: bool = field(compare=False, default=False)
 
 
 class EventScheduler:
@@ -38,6 +41,9 @@ class EventScheduler:
         self._queue: list[_ScheduledEvent] = []
         self._seq = 0
         self._executed = 0
+        #: queued events that are neither cancelled nor done — kept
+        #: incrementally so :attr:`pending` is O(1), not an O(n) scan
+        self._live = 0
 
     # -- scheduling ---------------------------------------------------------
 
@@ -50,6 +56,7 @@ class EventScheduler:
         self._seq += 1
         event = _ScheduledEvent(time, priority, self._seq, action, label)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def after(self, delay: float, action: Callable[[], Any],
@@ -58,15 +65,23 @@ class EventScheduler:
         return self.at(self.clock.now + delay, action, label, priority)
 
     def cancel(self, event: _ScheduledEvent) -> None:
-        """Cancel a pending event (lazy removal)."""
+        """Cancel a pending event (lazy removal).
+
+        Idempotent, and a no-op for events that already ran: only the
+        first cancel of a still-queued event decrements the live
+        counter.
+        """
+        if event.cancelled or event.done:
+            return
         event.cancelled = True
+        self._live -= 1
 
     # -- execution ----------------------------------------------------------
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     @property
     def executed(self) -> int:
@@ -78,7 +93,10 @@ class EventScheduler:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                event.done = True
                 continue
+            event.done = True
+            self._live -= 1
             self.clock.advance_to(event.time)
             self._executed += 1
             self._execute(event)
@@ -99,7 +117,7 @@ class EventScheduler:
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(self._queue).done = True
                 continue
             if until is not None and head.time > until:
                 break

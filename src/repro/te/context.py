@@ -25,7 +25,21 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.repository.versions import is_frozen_payload
 from repro.util.errors import RecoveryError
+
+
+def _cow_copy(mapping: dict[str, Any]) -> dict[str, Any]:
+    """Copy-on-write image of a working dict over frozen payloads.
+
+    Values installed by checkout are frozen (immutable through any
+    reference) and are shared into the image as-is; everything the
+    tool produced itself is deep-copied as before.  The recovery-point
+    hot path thus costs O(top-level keys), not O(payload bytes).
+    """
+    return {key: value if is_frozen_payload(value)
+            else copy.deepcopy(value)
+            for key, value in mapping.items()}
 
 
 @dataclass
@@ -46,9 +60,13 @@ class DopContext:
     work_done: float = 0.0
 
     def snapshot(self) -> dict[str, Any]:
-        """Deep-copied, storage-ready image of the context."""
+        """Storage-ready image of the context (copy-on-write).
+
+        Frozen payload values are shared, mutable tool output is
+        deep-copied — the image is private either way.
+        """
         return {
-            "data": copy.deepcopy(self.data),
+            "data": _cow_copy(self.data),
             "tool_state": copy.deepcopy(self.tool_state),
             "checked_out": list(self.checked_out),
             "work_done": self.work_done,
@@ -58,7 +76,7 @@ class DopContext:
     def from_snapshot(cls, snap: dict[str, Any]) -> "DopContext":
         """Rebuild a context from a :meth:`snapshot` image."""
         return cls(
-            data=copy.deepcopy(snap["data"]),
+            data=_cow_copy(snap["data"]),
             tool_state=copy.deepcopy(snap["tool_state"]),
             checked_out=list(snap["checked_out"]),
             work_done=snap["work_done"],

@@ -430,8 +430,13 @@ class ObjectBuffer:
             entry = self._entries.pop(provisional_id, None)
             if entry is None:
                 continue
+            # the durable version carries the *same* payload the
+            # provisional entry staged (the server adopts the shipped
+            # data), so the resident size is already right — only a
+            # genuinely different payload re-sizes the entry
+            if dov.data is not entry.dov.data:
+                entry.size = dov.payload_size
             entry.dov = dov
-            entry.size = dov.payload_size
             entry.dirty = False
             entry.record = None
             self._entries[dov.dov_id] = entry

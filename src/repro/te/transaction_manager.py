@@ -51,7 +51,13 @@ from repro.net.two_phase_commit import (
     Vote,
 )
 from repro.repository.repository import DesignDataRepository
-from repro.repository.versions import DesignObjectVersion, payload_sizeof
+from repro.repository.versions import (
+    DesignObjectVersion,
+    freeze_payload,
+    is_frozen_payload,
+    payload_fast_path_enabled,
+    payload_sizeof,
+)
 from repro.sim.clock import SimClock
 from repro.te.context import DopContext, SavepointStack
 from repro.te.dop import DesignOperation, DopState
@@ -900,6 +906,11 @@ class ClientTM:
         """
         dop.require("checkin")
         payload = data if data is not None else dict(dop.context.data)
+        if payload_fast_path_enabled():
+            # freeze once on the workstation: the upload sizing below,
+            # the server's staging walk and the durable DOV all reuse
+            # this one canonical form (and its cached size)
+            payload = freeze_payload(payload)
         lineage = parents if parents is not None else list(dop.input_dovs)
         if self.write_back and self.buffer is not None:
             return self._checkin_write_back(dop, dot_name, payload,
@@ -942,14 +953,19 @@ class ClientTM:
         provisional_id = self.ids.next(f"wb-{self.workstation}")
         dov = DesignObjectVersion(
             dov_id=provisional_id, dot_name=dot_name,
-            data=dict(payload), created_by=dop.da_id,
+            data=payload if is_frozen_payload(payload)
+            else dict(payload),
+            created_by=dop.da_id,
             created_at=self.clock.now,
             parents=tuple(resolved_lineage))
         record = {
             "provisional_id": provisional_id,
             "da_id": dop.da_id,
             "dot_name": dot_name,
-            "data": payload,
+            # the provisional DOV's (frozen) payload — the flush ships
+            # this exact object and the server stages it without a
+            # copy or re-walk, so the durable version shares it too
+            "data": dov.data,
             "parents": resolved_lineage,
             "dop_id": dop.dop_id,
         }

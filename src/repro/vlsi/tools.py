@@ -121,7 +121,11 @@ def structure_synthesis(context: DopContext,
 # ---------------------------------------------------------------------------
 
 def repartitioning(context: DopContext, params: dict[str, Any]) -> None:
-    """Regroup the structure into balanced partitions (tool 2)."""
+    """Regroup the structure into balanced partitions (tool 2).
+
+    Copy-on-write: a structure arriving via checkout is frozen, so
+    the tool derives a new structure dict instead of mutating it.
+    """
     structure = context.data.get("structure")
     if not structure:
         raise WorkflowError("repartitioning needs a structure")
@@ -133,7 +137,7 @@ def repartitioning(context: DopContext, params: dict[str, Any]) -> None:
     ranked = sorted(netlist.cells, key=lambda c: -netlist.degree(c))
     for i, cell_name in enumerate(ranked):
         partitions[i % groups].append(cell_name)
-    structure["partitions"] = partitions
+    context.data["structure"] = {**structure, "partitions": partitions}
 
 
 # ---------------------------------------------------------------------------
