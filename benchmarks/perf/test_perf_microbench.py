@@ -19,6 +19,7 @@ EXPECTED = {
     "checkout_buffer_hit",
     "checkout_checkin_write_through",
     "group_checkin_flush",
+    "cross_workstation_group_commit",
     "kernel_events",
     "payload_sizing",
     "scorecard_wall_clock",

@@ -1,0 +1,17 @@
+"""Benchmark T10 — federated atomic commit under injected crashes."""
+
+from conftest import report
+
+from repro.bench.experiments import run_t10
+from repro.bench.scorecard import _check_t10
+
+
+def test_t10_federated_commit(benchmark):
+    result = benchmark.pedantic(run_t10, rounds=1, iterations=1)
+    report(result)
+    # single source of truth: the scorecard's T10 shape check
+    # (identical durable state across every crash placement, zero
+    # atomicity violations, crash-before aborts+retries under presumed
+    # abort, crash-after redoes from the logged decision)
+    problem = _check_t10(result)
+    assert problem is None, problem

@@ -57,6 +57,12 @@ DEFAULT_ARTIFACT = "BENCH_PERF.json"
 #: baseline by at least this factor
 BUFFER_HIT_MIN_SPEEDUP = 3.0
 
+#: acceptance floor: the write-back group flush must beat the deepcopy
+#: baseline by at least this factor (PR 5: batched graph locks, the
+#: single-walk freeze, and the O(1) dirty index lifted the 2PC/WAL
+#: control path that used to dominate the flush)
+GROUP_FLUSH_MIN_SPEEDUP = 2.0
+
 
 def _nested_payload(entries: int = 48, rev: int = 0) -> dict[str, Any]:
     """A representative design payload: shallow top, bushy below.
@@ -186,6 +192,59 @@ def _measure_group_flush(flushes: int, batch: int, fast: bool,
         return _best_ops_per_sec(run_ops, repeats)
 
 
+def _measure_cross_flush(rounds: int, team: int, batch: int, fast: bool,
+                         repeats: int) -> float:
+    """Cross-workstation group commits per second: *team* dirty sets
+    under ONE coordinator, ONE decision and ONE forced WAL write
+    (:func:`repro.txn.flush_group`)."""
+    from repro.txn import flush_group
+
+    with payload_fast_path(fast):
+        clock = SimClock()
+        network = Network(clock)
+        network.add_server()
+        repository = DesignDataRepository()
+        locks = LockManager()
+        server_tm = ServerTM(repository, locks, network, clock=clock)
+        server_tm.scope_check = lambda da_id, dov_id: True
+        rpc = TransactionalRpc(network)
+        register_server_endpoints(rpc, server_tm)
+        ids = IdGenerator()
+        repository.register_dot(DesignObjectType("Cell", attributes=[
+            AttributeDef("name", AttributeKind.STRING),
+            AttributeDef("meta", AttributeKind.JSON),
+            AttributeDef("tree", AttributeKind.JSON),
+        ]))
+        clients = []
+        for index in range(team):
+            workstation = f"ws-{index}"
+            network.add_workstation(workstation)
+            repository.create_graph(f"da-{index}")
+            clients.append(ClientTM(
+                workstation, server_tm, rpc, clock, ids=ids,
+                buffer=ObjectBuffer(workstation), write_back=True,
+                flush_on_end_dop=False))
+        state = {"rev": 0}
+
+        def run_ops() -> int:
+            for _ in range(rounds):
+                dops = []
+                for index, client in enumerate(clients):
+                    dop = client.begin_dop(f"da-{index}", tool="bench")
+                    for _ in range(batch):
+                        state["rev"] += 1
+                        client.checkin(
+                            dop, "Cell",
+                            data=_nested_payload(rev=state["rev"]),
+                            parents=[])
+                    dops.append((client, dop))
+                flush_group(clients)
+                for client, dop in dops:
+                    client.commit_dop(dop)
+            return rounds
+        return _best_ops_per_sec(run_ops, repeats)
+
+
 def _measure_kernel_events(events: int, repeats: int) -> float:
     """Kernel events dispatched per second (schedule + trace + run,
     with a cancellation mixed in every eighth event to exercise the
@@ -303,6 +362,18 @@ def run_perf(quick: bool = False, repeats: int = 3,
     benchmarks["group_checkin_flush"]["flush_latency_ms"] = \
         round(1000.0 / fps, 3) if fps else None
 
+    rounds, team = n(24), 4
+    contrast(
+        "cross_workstation_group_commit",
+        f"cross-workstation group commits/sec ({team} workstations' "
+        f"dirty sets, {batch} checkins each, under ONE coordinator / "
+        "decision / forced WAL write)",
+        rounds,
+        lambda fast: _measure_cross_flush(rounds, team, batch, fast,
+                                          repeats))
+    benchmarks["cross_workstation_group_commit"]["team"] = team
+    benchmarks["cross_workstation_group_commit"]["batch"] = batch
+
     events = n(24000, 256)
     benchmarks["kernel_events"] = {
         "description": "kernel events dispatched/sec (schedule + run + "
@@ -331,6 +402,7 @@ def run_perf(quick: bool = False, repeats: int = 3,
         if card["baseline_ops_per_sec"] else None
 
     hit = benchmarks["checkout_buffer_hit"]
+    flush = benchmarks["group_checkin_flush"]
     report = {
         "schema": SCHEMA,
         "suite": "repro.bench.perf",
@@ -339,8 +411,13 @@ def run_perf(quick: bool = False, repeats: int = 3,
         "acceptance": {
             "buffer_hit_min_speedup": BUFFER_HIT_MIN_SPEEDUP,
             "buffer_hit_speedup": hit["speedup_vs_deepcopy_baseline"],
+            "group_flush_min_speedup": GROUP_FLUSH_MIN_SPEEDUP,
+            "group_flush_speedup":
+                flush["speedup_vs_deepcopy_baseline"],
             "ok": (hit["speedup_vs_deepcopy_baseline"] or 0.0)
-            >= BUFFER_HIT_MIN_SPEEDUP,
+            >= BUFFER_HIT_MIN_SPEEDUP
+            and (flush["speedup_vs_deepcopy_baseline"] or 0.0)
+            >= GROUP_FLUSH_MIN_SPEEDUP,
         },
         "benchmarks": benchmarks,
     }
@@ -365,7 +442,10 @@ def render(report: dict[str, Any]) -> str:
     lines.append(
         f"acceptance: buffer-hit speedup "
         f"{acceptance['buffer_hit_speedup']:.2f}x "
-        f">= {acceptance['buffer_hit_min_speedup']:.1f}x -> "
+        f">= {acceptance['buffer_hit_min_speedup']:.1f}x, "
+        f"group-flush speedup "
+        f"{acceptance['group_flush_speedup']:.2f}x "
+        f">= {acceptance['group_flush_min_speedup']:.1f}x -> "
         + ("OK" if acceptance["ok"] else "FAIL"))
     return "\n".join(lines)
 

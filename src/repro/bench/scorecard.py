@@ -1,6 +1,6 @@
 """The reproduction scorecard: one command, every claim checked.
 
-Runs every figure driver (F1-F8), experiment (T1-T9) and ablation
+Runs every figure driver (F1-F8), experiment (T1-T10) and ablation
 (A1-A3) and evaluates the *shape* each must exhibit (the reproduction
 criterion: who wins, by roughly what factor, where crossovers fall —
 not absolute numbers).  ``python -m repro.bench.scorecard`` prints the
@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     run_t7,
     run_t8,
     run_t9,
+    run_t10,
 )
 from repro.bench.figures import (
     run_f1,
@@ -236,6 +237,24 @@ def _check_t9(result: ExperimentResult) -> str | None:
     return None
 
 
+def _check_t10(result: ExperimentResult) -> str | None:
+    if not result.data["states_identical"]:
+        return "durable state differs across crash placements"
+    rows = {r["crash"]: r for r in result.rows}
+    if any(r["atomic_violations"] for r in result.rows):
+        return "a logged decision was applied partially"
+    if not (rows["before"]["aborted"] >= 1
+            and rows["before"]["retried"] >= 1):
+        return "crash-before must abort (presumed abort) and retry"
+    if not rows["after"]["redone"] >= 1:
+        return "crash-after must redo from the logged decision"
+    if any(not r["state_matches_baseline"] for r in result.rows):
+        return "a crash run diverged from the no-crash baseline"
+    if rows["none"]["decisions"] < 1:
+        return "no cross-member decision was ever logged"
+    return None
+
+
 def _check_a1(result: ExperimentResult) -> str | None:
     by_team: dict = {}
     for row in result.rows:
@@ -273,7 +292,7 @@ SCORECARD: dict[str, tuple[Callable[[], ExperimentResult],
     "T3": (run_t3, _check_t3), "T4": (run_t4, _check_t4),
     "T5": (run_t5, _check_t5), "T6": (run_t6, _check_t6),
     "T7": (run_t7, _check_t7), "T8": (run_t8, _check_t8),
-    "T9": (run_t9, _check_t9),
+    "T9": (run_t9, _check_t9), "T10": (run_t10, _check_t10),
     "A1": (run_a1, _check_a1), "A2": (run_a2, _check_a2),
     "A3": (run_a3, _check_a3),
 }

@@ -154,7 +154,9 @@ class ConcordSystem:
                  bandwidth: float = 1_000_000.0,
                  write_back: bool = False,
                  eviction_policy: str = "lru",
-                 flush_interval: int | None = None) -> None:
+                 flush_interval: int | None = None,
+                 lease_ttl: float | None = None,
+                 pressure_fraction: float = 1.0) -> None:
         self.clock = SimClock()
         self.ids = IdGenerator()
         self.trace = EventTrace(enabled=trace)
@@ -181,7 +183,8 @@ class ConcordSystem:
         self.server.on_restart.append(lambda: self.repository.recover())
         self.server_tm = ServerTM(self.repository, self.locks,
                                   self.network, trace=self.trace,
-                                  clock=self.clock)
+                                  clock=self.clock,
+                                  lease_ttl=lease_ttl)
         # facade default: keep warm buffers across a server restart
         # (stamp-based re-validation); restart_server(revalidate=False)
         # restores the seed's conservative cold flush
@@ -205,6 +208,12 @@ class ConcordSystem:
         #: write-through default
         self.write_back = write_back
         self.flush_interval = flush_interval
+        #: lease regime: None = explicit recalls only (the PR 2
+        #: protocol); a number = TTL renewal leases on kernel timers
+        self.lease_ttl = lease_ttl
+        #: capacity-pressure flush policy: fraction of the dirty set
+        #: (oldest first) a pressure-triggered flush ships
+        self.pressure_fraction = pressure_fraction
         self._buffers: dict[str, ObjectBuffer] = {}
         self._client_tms: dict[str, ClientTM] = {}
         self._runtimes: dict[str, DaRuntime] = {}
@@ -242,9 +251,21 @@ class ConcordSystem:
                              protocol=self.commit_protocol,
                              buffer=buffer,
                              write_back=self.write_back,
-                             flush_interval=self.flush_interval)
+                             flush_interval=self.flush_interval,
+                             pressure_fraction=self.pressure_fraction)
         self._client_tms[name] = client_tm
         return client_tm
+
+    def flush_group(self, workstations: list[str] | None = None):
+        """Cross-workstation group commit: the dirty sets of the named
+        (default: all) workstations ship under ONE coordinator, ONE
+        decision and ONE forced repository WAL write — see
+        :func:`repro.txn.flush_group`."""
+        from repro.txn import flush_group
+
+        names = workstations if workstations is not None \
+            else list(self._client_tms)
+        return flush_group([self.client_tm(name) for name in names])
 
     def client_tm(self, workstation: str) -> ClientTM:
         """The client-TM of a workstation."""

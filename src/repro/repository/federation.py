@@ -22,7 +22,8 @@ from typing import Any, Callable, Iterator
 from repro.repository.repository import DesignDataRepository
 from repro.repository.schema import DesignObjectType
 from repro.repository.versions import DerivationGraph, DesignObjectVersion
-from repro.util.errors import UnknownObjectError
+from repro.txn.decision_log import GlobalDecisionLog
+from repro.util.errors import StorageError, UnknownObjectError
 
 
 class FederatedRepository:
@@ -35,12 +36,20 @@ class FederatedRepository:
     relationships!) are transparent.
     """
 
-    def __init__(self, members: dict[str, DesignDataRepository]) -> None:
+    def __init__(self, members: dict[str, DesignDataRepository],
+                 decision_log: GlobalDecisionLog | None = None) -> None:
         if not members:
             raise ValueError("a federation needs at least one member")
         self._members = dict(members)
         self._member_order = list(members)
         self._next_member = 0
+        #: durable coordinator-side decision log: the commit point of
+        #: every cross-member batch (presumed-abort recovery)
+        self.decision_log = decision_log if decision_log is not None \
+            else GlobalDecisionLog()
+        self._next_gtxn = 0
+        #: cross-member batches redone at member recovery
+        self.redone_batches = 0
         #: da_id -> member name
         self._placement: dict[str, str] = {}
         #: dov_id -> member name (global directory)
@@ -234,16 +243,29 @@ class FederatedRepository:
                    for repo in self._members.values())
 
     def commit_group(self, dov_ids: list[str]) -> list[DesignObjectVersion]:
-        """Commit a staged group, batching per owning member.
+        """Commit a staged group atomically, *across* members.
 
-        Versions staged on the same member commit through that
-        member's atomic :meth:`DesignDataRepository.commit_group` (one
-        forced WAL flush each); a group spanning members is atomic
-        *per member* only — the federation has no global log, the
-        price of the paper's "distributed data management does not
-        influence the major model of operation" assumption.  Batch
-        order is preserved in the returned list and in the on_commit
-        notifications routed through the directory.
+        The federated atomic commit (paper Sect.6's distributed-commit
+        direction).  Three phases under one coordinator:
+
+        1. **prepare** — every owning member forces one prepare record
+           carrying its portion's redo information; a member that is
+           down here aborts the whole batch (presumed abort: the
+           survivors discard their staged portions, nothing is logged);
+        2. **decide** — the COMMIT decision and the batch manifest go
+           to the :attr:`decision_log` in **one forced write**: the
+           global commit point;
+        3. **complete** — every member applies the decision through
+           its atomic :meth:`DesignDataRepository.commit_group` (one
+           WAL force per member).  A member that crashed *after* the
+           decision is simply skipped: :meth:`recover_member` consults
+           the log and redoes its portion deterministically, so the
+           batch is all-or-nothing even under member crashes.
+
+        Returns the versions that became durable *now*, in batch
+        order; portions pending redo at a crashed member are absent
+        until its recovery completes them.  ``on_commit`` notices fire
+        per version in batch order, routed through the directory.
         """
         homes: dict[str, str] = {}
         for dov_id in dov_ids:
@@ -252,15 +274,117 @@ class FederatedRepository:
                     homes[dov_id] = name
                     break
             else:
+                # presumed abort: the batch cannot form — un-stage the
+                # portions already resolved so nothing dangles
+                for placed_id, name in homes.items():
+                    self._members[name].abort_checkin(placed_id)
+                down = [name for name, repo in self._members.items()
+                        if not repo.store.is_up]
+                if down:
+                    raise StorageError(
+                        f"DOV {dov_id!r} unresolvable with member(s) "
+                        f"{down} down: batch aborted")
                 raise UnknownObjectError(
                     f"no staged checkin for DOV {dov_id!r} in any member")
-        committed: dict[str, DesignObjectVersion] = {}
-        for name in dict.fromkeys(homes.values()):
-            member_ids = [i for i in dov_ids if homes[i] == name]
+        manifest = {name: [i for i in dov_ids if homes[i] == name]
+                    for name in dict.fromkeys(homes.values())}
+        self._next_gtxn += 1
+        gtxn_id = f"gtxn-{self._next_gtxn}"
+
+        if len(manifest) == 1:
+            # single-member batch: the member's own atomic commit is
+            # the whole protocol — no global decision needed
+            (name, member_ids), = manifest.items()
+            committed = {}
             for dov in self._members[name].commit_group(member_ids):
                 committed[dov.dov_id] = dov
                 self._directory.setdefault(dov.dov_id, name)
-        return [committed[dov_id] for dov_id in dov_ids]
+            return [committed[dov_id] for dov_id in dov_ids]
+
+        self._prepare_batch(gtxn_id, manifest)
+        # the global commit point: one forced decision-log write
+        self.decision_log.record(gtxn_id, manifest)
+        committed = self._complete_batch(gtxn_id, manifest)
+        return [committed[dov_id] for dov_id in dov_ids
+                if dov_id in committed]
+
+    def _prepare_batch(self, gtxn_id: str,
+                       manifest: dict[str, list[str]]) -> None:
+        """Phase 1: forced prepare records at every owning member."""
+        prepared: list[str] = []
+        for name, member_ids in manifest.items():
+            try:
+                self._members[name].prepare_group(gtxn_id, member_ids)
+            except StorageError as exc:
+                # presumed abort: no decision record exists, so the
+                # batch aborts everywhere — survivors discard their
+                # staged portions; the down member's staging was
+                # volatile and died with it
+                for done in prepared:
+                    self._members[done].forget_group(gtxn_id,
+                                                     manifest[done])
+                raise StorageError(
+                    f"member {name!r} down during prepare of "
+                    f"{gtxn_id!r}: batch aborted") from exc
+            prepared.append(name)
+
+    def _complete_batch(self, gtxn_id: str,
+                        manifest: dict[str, list[str]]
+                        ) -> dict[str, DesignObjectVersion]:
+        """Phase 2: apply the logged decision at every live member."""
+        committed: dict[str, DesignObjectVersion] = {}
+        pending_member = False
+        for name, member_ids in manifest.items():
+            try:
+                dovs = self._members[name].complete_group(gtxn_id,
+                                                          member_ids)
+            except StorageError:
+                # crashed after the decision: recovery redoes it
+                pending_member = True
+                continue
+            for dov in dovs:
+                committed[dov.dov_id] = dov
+                self._directory.setdefault(dov.dov_id, name)
+        if not pending_member:
+            self.decision_log.mark_complete(gtxn_id)
+        return committed
+
+    def resolve_incomplete(self) -> int:
+        """Coordinator recovery: finish every logged-but-incomplete
+        COMMIT decision (e.g. after a coordinator crash between the
+        decision record and the participant notifications).
+
+        For each manifest member, portions already durable are left
+        alone, still-staged portions complete through the normal
+        member commit, and portions lost to a member crash are redone
+        from the member's prepare record.  Returns the number of
+        batches settled.
+        """
+        settled = 0
+        for gtxn_id in self.decision_log.incomplete():
+            manifest = self.decision_log.manifest(gtxn_id)
+            done = True
+            for name, member_ids in manifest.items():
+                member = self._members[name]
+                try:
+                    if all(dov_id in member.store
+                           for dov_id in member_ids):
+                        continue
+                    if all(dov_id in member.store.staged_ids()
+                           for dov_id in member_ids):
+                        dovs = member.complete_group(gtxn_id, member_ids)
+                    else:
+                        dovs = member.redo_group(gtxn_id)
+                        self.redone_batches += 1
+                except StorageError:
+                    done = False  # member still down: retried later
+                    continue
+                for dov in dovs:
+                    self._directory.setdefault(dov.dov_id, name)
+            if done:
+                self.decision_log.mark_complete(gtxn_id)
+                settled += 1
+        return settled
 
     def abort_group(self, dov_ids: list[str]) -> int:
         """Abort a staged group wherever its versions live."""
@@ -281,23 +405,76 @@ class FederatedRepository:
         return self.member(name).crash()
 
     def recover_member(self, name: str) -> dict[str, int]:
-        """Recover one member from its own WAL."""
-        return self.member(name).recover()
+        """Recover one member from its own WAL, then settle its
+        in-doubt cross-member batches against the global decision log.
+
+        Presumed abort: a prepared batch with a logged COMMIT decision
+        is **redone** from the member's prepare record (the crash hit
+        between the global decision and the member's apply); a
+        prepared batch without a decision record aborted — the member
+        simply settles it and moves on.  This is what makes a
+        cross-member ``commit_group`` all-or-nothing under member
+        crashes: the decision, not the member's luck, determines the
+        outcome.
+        """
+        report = self.member(name).recover()
+        report["redone_batches"] = self._settle_in_doubt(name)
+        return report
+
+    def _settle_in_doubt(self, name: str) -> int:
+        from repro.net.two_phase_commit import Decision
+
+        member = self.member(name)
+        redone = 0
+        for gtxn_id in member.in_doubt_groups():
+            if self.decision_log.resolve(gtxn_id) is Decision.COMMIT:
+                for dov in member.redo_group(gtxn_id):
+                    self._directory.setdefault(dov.dov_id, name)
+                redone += 1
+                self.redone_batches += 1
+                if self._batch_settled(gtxn_id):
+                    self.decision_log.mark_complete(gtxn_id)
+            else:
+                # presumed abort: no decision record means the batch
+                # aborted; the staged portion died with the crash, so
+                # settling the prepare marker is all that remains
+                member.forget_group(gtxn_id, [])
+        return redone
+
+    def _batch_settled(self, gtxn_id: str) -> bool:
+        """True when every manifest portion of *gtxn_id* is durable."""
+        for name, dov_ids in self.decision_log.manifest(gtxn_id).items():
+            try:
+                if not all(dov_id in self._members[name].store
+                           for dov_id in dov_ids):
+                    return False
+            except StorageError:
+                return False
+        return True
 
     def crash(self) -> dict[str, int]:
         """Crash every member (whole-site failure, interface parity
-        with :class:`DesignDataRepository`)."""
+        with :class:`DesignDataRepository`).
+
+        The coordinator state crashes too: the decision log loses its
+        in-memory maps and its un-forced tail (completion markers);
+        the forced decision records are what recovery rebuilds from.
+        """
         totals: dict[str, int] = {}
         for repo in self._members.values():
             for key, value in repo.crash().items():
                 totals[key] = totals.get(key, 0) + value
+        totals["decision_tail_lost"] = self.decision_log.crash()
         return totals
 
     def recover(self) -> dict[str, int]:
-        """Recover every member from its own WAL."""
-        totals: dict[str, int] = {}
-        for repo in self._members.values():
-            for key, value in repo.recover().items():
+        """Recover every member from its own WAL, then settle every
+        in-doubt cross-member batch against the decision log (itself
+        rebuilt from its forced records first)."""
+        totals: dict[str, int] = {
+            "decisions_recovered": self.decision_log.recover()}
+        for name in self._member_order:
+            for key, value in self.recover_member(name).items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 
@@ -309,6 +486,8 @@ class FederatedRepository:
             "members": len(self._members),
             "placements": len(self._placement),
             "directory_entries": len(self._directory),
+            "decision_log": self.decision_log.stats(),
+            "redone_batches": self.redone_batches,
             "per_member": {name: repo.stats()
                            for name, repo in self._members.items()},
         }

@@ -34,6 +34,7 @@ from repro.repository.wal import LogRecordKind, WriteAheadLog
 from repro.util.errors import (
     IntegrityError,
     SchemaError,
+    StorageError,
     UnknownObjectError,
 )
 from repro.util.ids import IdGenerator
@@ -158,6 +159,10 @@ class DesignDataRepository:
         schema constraints — the paper's 'checkin failure' case — and
         :class:`UnknownObjectError` for unknown parents or graph.
         """
+        if not self.store.is_up:
+            # surface the outage, not a bogus unknown-graph error (the
+            # graphs map is volatile and empty while crashed)
+            raise StorageError("repository is down (server crash)")
         dot = self.dot(dot_name)
         graph = self.graph(da_id)
         problems = dot.validate(data)
@@ -208,6 +213,10 @@ class DesignDataRepository:
         scheduled in the same deterministic order the workstation
         checked the versions in.
         """
+        if not self.store.is_up:
+            # the staging bookkeeping is volatile: while crashed, the
+            # honest answer is "down", not "unknown DOV"
+            raise StorageError("repository is down (server crash)")
         owners = []
         for dov_id in dov_ids:
             try:
@@ -228,6 +237,113 @@ class DesignDataRepository:
         """Phase 2 (abort): drop the staged version."""
         self._pending.pop(dov_id, None)
         return self.store.discard(dov_id)
+
+    # ----------------------------------------- federated commit participant
+
+    def prepare_group(self, gtxn_id: str, dov_ids: list[str]) -> None:
+        """Member phase 1 of a cross-member batch: force a prepare
+        record carrying the batch's complete redo information.
+
+        After this returns, the member can apply the coordinator's
+        COMMIT decision even if it crashes first: :meth:`redo_group`
+        rebuilds the staged versions from the record.  One forced WAL
+        write per member per batch — the participant half of the
+        presumed-abort protocol (no abort record will ever be forced).
+        """
+        records = []
+        for dov_id in dov_ids:
+            dov = self.store.staged(dov_id)
+            record = VersionStore._checkin_payload(dov)
+            record["owner"] = self._pending.get(dov_id, dov.created_by)
+            records.append(record)
+        self.wal.append(LogRecordKind.TXN_PREPARE,
+                        {"gtxn": gtxn_id, "records": records},
+                        force=True)
+
+    def complete_group(self, gtxn_id: str,
+                       dov_ids: list[str]) -> list[DesignObjectVersion]:
+        """Member phase 2 of a cross-member batch: apply the logged
+        COMMIT decision (atomic :meth:`commit_group`, one WAL force),
+        then settle the prepare with an un-forced commit marker."""
+        dovs = self.commit_group(dov_ids)
+        self.wal.append(LogRecordKind.TXN_COMMIT, {"gtxn": gtxn_id},
+                        force=False)
+        return dovs
+
+    def forget_group(self, gtxn_id: str, dov_ids: list[str]) -> int:
+        """Member abort of a prepared batch (presumed abort: the
+        marker is never forced — a missing decision means abort)."""
+        discarded = self.abort_group(dov_ids)
+        self.wal.append(LogRecordKind.TXN_ABORT, {"gtxn": gtxn_id},
+                        force=False)
+        return discarded
+
+    def _prepare_record(self, gtxn_id: str) -> dict[str, Any] | None:
+        for record in self.wal.stable_records(LogRecordKind.TXN_PREPARE):
+            if record.payload.get("gtxn") == gtxn_id:
+                return record.payload
+        return None
+
+    def in_doubt_groups(self) -> list[str]:
+        """Prepared batches without a stable commit/abort marker, in
+        prepare order — what a recovering member asks the global
+        decision log about."""
+        settled = {
+            record.payload.get("gtxn")
+            for kind in (LogRecordKind.TXN_COMMIT, LogRecordKind.TXN_ABORT)
+            for record in self.wal.stable_records(kind)}
+        in_doubt: list[str] = []
+        for record in self.wal.stable_records(LogRecordKind.TXN_PREPARE):
+            gtxn_id = record.payload.get("gtxn")
+            if gtxn_id in settled or gtxn_id in in_doubt:
+                continue
+            if all(raw["dov_id"] in self.store
+                   for raw in record.payload["records"]):
+                # the whole portion is durable (the commit marker was
+                # merely un-forced): effectively settled, no redo
+                continue
+            in_doubt.append(gtxn_id)
+        return in_doubt
+
+    def redo_group(self, gtxn_id: str) -> list[DesignObjectVersion]:
+        """Re-apply a logged COMMIT decision after a member crash.
+
+        Rebuilds the batch from the forced prepare record, re-stages
+        whatever is not yet durable and commits it through the normal
+        atomic group path (fresh ``DOV_CHECKIN`` records + one force,
+        so a *second* crash recovers deterministically too).
+        Idempotent: already-durable versions are skipped, so redo
+        converges no matter how often recovery re-runs it.  The
+        :attr:`on_commit` observer fires for every *newly* durable
+        version in batch order — exactly what the first commit would
+        have produced.
+        """
+        payload = self._prepare_record(gtxn_id)
+        if payload is None:
+            raise UnknownObjectError(
+                f"no prepare record for batch {gtxn_id!r}")
+        to_commit: list[str] = []
+        for raw in payload["records"]:
+            if raw["dov_id"] in self.store:
+                continue  # already durable: redo is idempotent
+            dov = DesignObjectVersion(
+                dov_id=raw["dov_id"], dot_name=raw["dot"],
+                data=adopt_payload(raw["data"]),
+                created_by=raw["created_by"],
+                created_at=raw["created_at"],
+                parents=tuple(raw["parents"]))
+            self.store.stage(dov)
+            self._pending[dov.dov_id] = raw.get("owner",
+                                                raw["created_by"])
+            to_commit.append(dov.dov_id)
+        redone = {dov.dov_id: dov
+                  for dov in (self.commit_group(to_commit)
+                              if to_commit else [])}
+        self.wal.append(LogRecordKind.TXN_COMMIT, {"gtxn": gtxn_id},
+                        force=False)
+        return [redone.get(raw["dov_id"], None)
+                or self.store.get(raw["dov_id"])
+                for raw in payload["records"]]
 
     def abort_group(self, dov_ids: list[str]) -> int:
         """Phase 2 (abort) for a staged group; returns #discarded."""

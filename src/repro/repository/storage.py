@@ -138,6 +138,15 @@ class VersionStore:
         """Ids of currently staged (uncommitted) versions."""
         return set(self._staged)
 
+    def staged(self, dov_id: str) -> DesignObjectVersion:
+        """A staged (uncommitted) version — the prepare-record source
+        of the federated commit's redo information."""
+        self._require_up()
+        try:
+            return self._staged[dov_id]
+        except KeyError:
+            raise StorageError(f"DOV {dov_id!r} is not staged") from None
+
     # -- failure & recovery -----------------------------------------------------
 
     def crash(self) -> dict[str, int]:

@@ -105,6 +105,19 @@ class FrozenDict(dict):
     clear = pop = popitem = setdefault = update = _immutable
     __ior__ = _immutable
 
+    @classmethod
+    def _adopt(cls, items: dict, size: int) -> "FrozenDict":
+        """Construct from already-frozen members with a known size.
+
+        The freeze walk computes every member's size bottom-up anyway;
+        adopting that total skips ``__init__``'s re-walk, so freezing
+        stays a genuinely single walk (the group-checkin hot path).
+        """
+        frozen = dict.__new__(cls)
+        dict.update(frozen, items)
+        frozen._frozen_size = size
+        return frozen
+
     def __deepcopy__(self, memo: dict) -> "FrozenDict":
         return self
 
@@ -136,6 +149,15 @@ class FrozenList(list):
     __setitem__ = __delitem__ = __iadd__ = __imul__ = _immutable
     append = extend = insert = pop = remove = _immutable
     sort = reverse = clear = _immutable
+
+    @classmethod
+    def _adopt(cls, items: list, size: int) -> "FrozenList":
+        """Construct from already-frozen members with a known size
+        (see :meth:`FrozenDict._adopt`)."""
+        frozen = list.__new__(cls)
+        list.extend(frozen, items)
+        frozen._frozen_size = size
+        return frozen
 
     def __deepcopy__(self, memo: dict) -> "FrozenList":
         return self
@@ -232,27 +254,100 @@ def freeze_payload(value: Any) -> Any:
 
 
 def _freeze(value: Any) -> tuple[Any, int]:
-    size = _frozen_size_of(value)
-    if size is not None:
-        return value, size
+    # exact-type dispatch first: payload trees are overwhelmingly
+    # plain strs/ints/floats/dicts/lists, and `type(...) is` beats the
+    # isinstance chain on exactly that hot path; subclasses and exotic
+    # types fall through to the general (isinstance-based) branch
+    tp = type(value)
+    if tp is str:
+        return value, len(value)
+    if tp is int or tp is float or tp is bool or value is None:
+        return value, _SCALAR_BYTES
+    if tp is dict:
+        frozen_members: dict[Any, Any] = {}
+        total = 0
+        for key, item in value.items():
+            if type(key) is str:
+                frozen_key, key_size = key, len(key)
+            else:
+                frozen_key, key_size = _freeze(key)
+            item_type = type(item)
+            if item_type is str:
+                frozen_item, item_size = item, len(item)
+            elif item_type is int or item_type is float \
+                    or item_type is bool or item is None:
+                frozen_item, item_size = item, _SCALAR_BYTES
+            else:
+                frozen_item, item_size = _freeze(item)
+            frozen_members[frozen_key] = frozen_item
+            total += key_size + item_size + _CONTAINER_OVERHEAD
+        return FrozenDict._adopt(frozen_members, total), total
+    if tp is list:
+        frozen_items: list[Any] = []
+        total = 0
+        for item in value:
+            item_type = type(item)
+            if item_type is str:
+                frozen_item, item_size = item, len(item)
+            elif item_type is int or item_type is float \
+                    or item_type is bool or item is None:
+                frozen_item, item_size = item, _SCALAR_BYTES
+            else:
+                frozen_item, item_size = _freeze(item)
+            frozen_items.append(frozen_item)
+            total += item_size + _CONTAINER_OVERHEAD
+        return FrozenList._adopt(frozen_items, total), total
+    if tp in _FROZEN_CONTAINERS:
+        return value, value._frozen_size
+    if tp is bytes:
+        return value, len(value)
     if isinstance(value, str):
         return value, len(value)
     if isinstance(value, bytes):
         return value, len(value)
     if isinstance(value, bytearray):
         return bytes(value), len(value)
-    if isinstance(value, (bool, int, float)) or value is None:
+    if isinstance(value, (bool, int, float)):
         return value, _SCALAR_BYTES
     if isinstance(value, dict):
-        # members freeze first, so the constructor's size stamp reads
-        # each member's cached size in O(1) — still one walk overall
-        frozen_dict = FrozenDict(
-            (_freeze(key)[0], _freeze(item)[0])
-            for key, item in value.items())
-        return frozen_dict, frozen_dict._frozen_size
+        # members freeze first and report their sizes, so the frozen
+        # container adopts the total without re-walking anything —
+        # freezing a payload really is one walk.  The common leaves
+        # (str keys, scalar values) are handled inline: a flat design
+        # record freezes without a single recursive call per member.
+        items: dict[Any, Any] = {}
+        total = 0
+        for key, item in value.items():
+            if type(key) is str:
+                frozen_key, key_size = key, len(key)
+            else:
+                frozen_key, key_size = _freeze(key)
+            item_type = type(item)
+            if item_type is str:
+                frozen_item, item_size = item, len(item)
+            elif item_type is int or item_type is float \
+                    or item_type is bool or item is None:
+                frozen_item, item_size = item, _SCALAR_BYTES
+            else:
+                frozen_item, item_size = _freeze(item)
+            items[frozen_key] = frozen_item
+            total += key_size + item_size + _CONTAINER_OVERHEAD
+        return FrozenDict._adopt(items, total), total
     if isinstance(value, list):
-        frozen_list = FrozenList(_freeze(item)[0] for item in value)
-        return frozen_list, frozen_list._frozen_size
+        members_list: list[Any] = []
+        total = 0
+        for item in value:
+            item_type = type(item)
+            if item_type is str:
+                frozen_item, item_size = item, len(item)
+            elif item_type is int or item_type is float \
+                    or item_type is bool or item is None:
+                frozen_item, item_size = item, _SCALAR_BYTES
+            else:
+                frozen_item, item_size = _freeze(item)
+            members_list.append(frozen_item)
+            total += item_size + _CONTAINER_OVERHEAD
+        return FrozenList._adopt(members_list, total), total
     if isinstance(value, tuple):
         # tuples stay tuples (hashable members stay hashable); only
         # their members are frozen

@@ -41,6 +41,8 @@ class LogRecordKind(str, Enum):
     # CM
     COOP_OPERATION = "coop_operation"
     DA_STATE = "da_state"
+    # federated atomic commit (txn layer)
+    GLOBAL_DECISION = "global_decision"
     # generic
     CHECKPOINT = "checkpoint"
 

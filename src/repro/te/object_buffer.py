@@ -217,6 +217,10 @@ class ObjectBuffer:
         self.policy = make_eviction_policy(policy)
         #: dov_id -> entry, in insertion (residence) order
         self._entries: dict[str, BufferEntry] = {}
+        #: insertion-ordered index of the dirty ids — the flush set is
+        #: read on every write-back checkin, so it must not scan the
+        #: whole (growing) residence map
+        self._dirty: dict[str, None] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -263,7 +267,16 @@ class ObjectBuffer:
     @property
     def dirty_bytes(self) -> int:
         """Payload bytes of dirty (unflushed write-back) entries."""
-        return sum(e.size for e in self._entries.values() if e.dirty)
+        return sum(self._entries[dov_id].size for dov_id in self._dirty)
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of dirty (unflushed write-back) entries — O(1)."""
+        return len(self._dirty)
+
+    def dirty_ids(self) -> list[str]:
+        """Dirty ids in admission (checkin) order."""
+        return list(self._dirty)
 
     def entry(self, dov_id: str) -> BufferEntry | None:
         """The raw entry for *dov_id* (no hit/miss accounting)."""
@@ -288,15 +301,25 @@ class ObjectBuffer:
         self.policy.on_hit(entry)
         return entry.dov
 
-    def dirty_entries(self) -> list[BufferEntry]:
-        """Dirty entries in admission (checkin) order — the flush set."""
-        return [e for e in self._entries.values() if e.dirty]
+    def dirty_entries(self, limit: int | None = None) -> list[BufferEntry]:
+        """Dirty entries in admission (checkin) order — the flush set.
+
+        With *limit*, only the **oldest** dirty prefix is returned:
+        the capacity-pressure flush policy ships that prefix and keeps
+        the youngest entries dirty (still coalescing).
+        """
+        ids = list(self._dirty) if limit is None \
+            else list(self._dirty)[:limit]
+        return [self._entries[dov_id] for dov_id in ids]
 
     def dirty_depends_on(self, dov_id: str) -> bool:
         """True when some dirty entry lists *dov_id* among its parents."""
-        return any(e.record is not None
-                   and dov_id in e.record.get("parents", ())
-                   for e in self._entries.values() if e.dirty)
+        for dirty_id in self._dirty:
+            record = self._entries[dirty_id].record
+            if record is not None \
+                    and dov_id in record.get("parents", ()):
+                return True
+        return False
 
     # -- mutation ----------------------------------------------------------------
 
@@ -310,6 +333,8 @@ class ObjectBuffer:
                             last_access=self._ticks,
                             dirty=dirty, record=record)
         self._entries[dov.dov_id] = entry
+        if dirty:
+            self._dirty[dov.dov_id] = None
         self.policy.on_admit(entry)
         return entry
 
@@ -355,6 +380,7 @@ class ObjectBuffer:
                     if grand not in spliced:
                         spliced.append(grand)
                 del self._entries[parent]
+                self._dirty.pop(parent, None)
                 self.coalesced += 1
             elif parent not in spliced:
                 spliced.append(parent)
@@ -395,6 +421,7 @@ class ObjectBuffer:
         """
         recalled = self._entries.pop(dov_id, None) is not None
         if recalled:
+            self._dirty.pop(dov_id, None)
             self.invalidations += 1
         if self.dirty_depends_on(dov_id) and self.on_recall is not None:
             self.on_recall()
@@ -409,11 +436,13 @@ class ObjectBuffer:
         provisional ids (the client-TM retires its forwarding entries
         for them).
         """
-        doomed = [dov_id for dov_id, e in self._entries.items()
-                  if e.dirty and e.record is not None
-                  and e.record.get("dop_id") == dop_id]
+        doomed = [dov_id for dov_id in self._dirty
+                  if self._entries[dov_id].record is not None
+                  and self._entries[dov_id].record.get("dop_id")
+                  == dop_id]
         for dov_id in doomed:
             del self._entries[dov_id]
+            del self._dirty[dov_id]
         return doomed
 
     def rebind(self, mapping: dict[str, DesignObjectVersion]) -> int:
@@ -439,6 +468,7 @@ class ObjectBuffer:
             entry.dov = dov
             entry.dirty = False
             entry.record = None
+            self._dirty.pop(provisional_id, None)
             self._entries[dov.dov_id] = entry
             rebound += 1
         return rebound
@@ -501,9 +531,9 @@ class ObjectBuffer:
         and are recovered from repository state, not from here.
         """
         lost = len(self._entries)
-        self.dirty_lost += sum(1 for e in self._entries.values()
-                               if e.dirty)
+        self.dirty_lost += len(self._dirty)
         self._entries.clear()
+        self._dirty.clear()
         return lost
 
     # -- statistics --------------------------------------------------------------

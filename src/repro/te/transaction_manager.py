@@ -10,18 +10,29 @@ interactions (checkin) run under two-phase commit.
   two-phase checkin against the repository (it is the 2PC
   *participant*), derivation-lock release on End-of-DOP, WAL-backed
   durability (delegated to the repository), and the **lease table** of
-  the data-shipping protocol: every version shipped to a buffering
-  workstation is leased per ``(workstation, dov_id)``, and a committed
-  checkin revokes the leases on the versions it supersedes with
-  asynchronous invalidation messages over the simulated LAN.
+  the data-shipping protocol (the txn layer's
+  :class:`~repro.txn.leases.LeaseTable`): every version shipped to a
+  buffering workstation is leased per ``(workstation, dov_id)``; a
+  committed checkin revokes the leases on the versions it supersedes
+  with asynchronous invalidation messages over the simulated LAN, and
+  with ``lease_ttl`` set the regime becomes **TTL renewal**: an
+  unrenewed lease expires via a kernel timer event and the expiry
+  behaves exactly like a recall, while renewals are metadata-only
+  messages.
 * :class:`ClientTM` — Begin/End-of-DOP, checkout (buffer-first: a hit
   in the workstation's :class:`~repro.te.object_buffer.ObjectBuffer`
   costs zero network events, a miss ships the payload size-aware), the
   mandatory post-checkout recovery point, tool-work application with
-  periodic recovery points, Save/Restore, Suspend/Resume, checkin as
-  2PC *coordinator*, and workstation-crash recovery from the most
-  recent recovery point (the buffer is volatile: a crash drops it and
-  recovery re-fetches through the normal chain).
+  periodic recovery points, Save/Restore, Suspend/Resume, and
+  workstation-crash recovery from the most recent recovery point (the
+  buffer is volatile: a crash drops it and recovery re-fetches through
+  the normal chain).
+
+Both TMs are **thin participants of the txn layer**
+(:mod:`repro.txn`): the commit drive itself — txn ids, request
+stashing, sized payload shipment, the prepare/decide/complete run —
+belongs to the :class:`~repro.txn.gateway.CommitGateway` each
+client-TM owns; the TMs validate, stage and apply.
 
 Checkin runs in one of two modes:
 
@@ -31,14 +42,20 @@ Checkin runs in one of two modes:
   *dirty* provisional versions in the object buffer and ship later as
   one batched, sized **group checkin** under a single 2PC — triggered
   by End-of-DOP, a lease recall touching dirty lineage, capacity
-  pressure, an optional dirty-set size threshold (``flush_interval``),
-  or an explicit :meth:`ClientTM.flush`.  Successive checkins of the same lineage
-  coalesce before shipping, and a workstation crash drops unflushed
-  dirty data (recovered from repository state, not from the buffer).
+  pressure (which ships only the oldest ``pressure_fraction`` prefix
+  of the dirty set), an optional dirty-set size threshold
+  (``flush_interval``), or an explicit :meth:`ClientTM.flush`.
+  Successive checkins of the same lineage coalesce before shipping,
+  and a workstation crash drops unflushed dirty data (recovered from
+  repository state, not from the buffer).  Several workstations'
+  dirty sets can additionally commit under ONE coordinator and ONE
+  decision via :func:`repro.txn.flush_group` — the cross-workstation
+  group commit.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -47,9 +64,10 @@ from repro.net.rpc import TransactionalRpc
 from repro.net.two_phase_commit import (
     CommitOutcome,
     CommitProtocol,
-    TwoPhaseCoordinator,
     Vote,
 )
+from repro.txn.gateway import CommitGateway, GroupRequest
+from repro.txn.leases import LeaseTable
 from repro.repository.repository import DesignDataRepository
 from repro.repository.versions import (
     DesignObjectVersion,
@@ -117,7 +135,8 @@ class ServerTM:
                  locks: LockManager, network: Network,
                  node_id: str = "server",
                  trace: EventTrace | None = None,
-                 clock: SimClock | None = None) -> None:
+                 clock: SimClock | None = None,
+                 lease_ttl: float | None = None) -> None:
         self.repository = repository
         self.locks = locks
         self.network = network
@@ -133,9 +152,19 @@ class ServerTM:
         self._staged: dict[str, str] = {}
         #: staged *group* checkins: txn_id -> dov ids in batch order
         self._staged_groups: dict[str, list[str]] = {}
-        #: read leases of the data-shipping protocol:
-        #: dov_id -> workstations holding a buffered copy
-        self._leases: dict[str, set[str]] = {}
+        #: lease time-to-live (None keeps the PR 2 recall-only regime;
+        #: a number switches to TTL renewal leases: unrenewed leases
+        #: expire via kernel timer events, and expiry behaves exactly
+        #: like a recall)
+        self.lease_ttl = lease_ttl
+        #: read leases of the data-shipping protocol, per
+        #: ``(workstation, dov_id)`` — the txn layer's lease table
+        self.leases = LeaseTable(
+            clock=self.clock, ttl=lease_ttl,
+            kernel_source=lambda: network.kernel)
+        self.leases.on_expire = self._on_lease_expired
+        #: dict-of-sets era alias (rigs seeded ``_leases`` directly)
+        self._leases = self.leases
         #: workstation -> its object buffer (invalidation delivery target)
         self._buffers: dict[str, ObjectBuffer] = {}
         #: invalidation messages scheduled over the LAN
@@ -218,7 +247,7 @@ class ServerTM:
         finally:
             self.locks.release(dov_id, dop_id, LockMode.SHORT_READ)
         if lease and workstation is not None:
-            self._leases.setdefault(dov_id, set()).add(workstation)
+            self.leases.grant(workstation, dov_id)
         self._record("checkout", dov_id, da=da_id, dop=dop_id,
                      derivation_lock=derivation_lock,
                      leased=bool(lease and workstation))
@@ -274,50 +303,64 @@ class ServerTM:
         Records are staged in batch order; parents naming an earlier
         record's provisional id resolve to the durable id the server
         just assigned it, so an unflushed lineage ships as one
-        consistent chain.  Any failure (integrity violation, unknown
+        consistent chain.  Graph locks are acquired **batched**: one
+        short write lock per distinct DA for the whole batch instead
+        of an acquire/release pair per record — same protection (the
+        batch is one critical section per graph), a fraction of the
+        lock traffic.  Any failure (integrity violation, unknown
         parent, lock conflict) un-stages everything already staged and
         votes NO — atomicity at the staging level; the durability
         level is covered by the repository's single-force group
         commit.
         """
         node = self.network.node(self.node_id)
+        records = request["records"]
         staged: list[str] = []
         mapping: dict[str, str] = {}
-        for record in request["records"]:
-            da_id = record["da_id"]
-            parents = tuple(mapping.get(p, p)
-                            for p in record["parents"])
-            graph_lock = f"graph:{da_id}"
-            try:
+        ws_by_dov: dict[str, str] = {}
+        graph_locks = list(dict.fromkeys(
+            f"graph:{record['da_id']}" for record in records))
+        acquired: list[str] = []
+        try:
+            for graph_lock in graph_locks:
                 self.locks.acquire(graph_lock, txn_id,
                                    LockMode.SHORT_WRITE)
-                try:
-                    dov = self.repository.stage_checkin(
-                        da_id=da_id,
-                        dot_name=record["dot_name"],
-                        data=record["data"],
-                        parents=parents,
-                        created_at=self.clock.now,
-                    )
-                finally:
-                    self.locks.release(graph_lock, txn_id,
-                                       LockMode.SHORT_WRITE)
-            except Exception as exc:  # noqa: BLE001 - any failure aborts
-                abort_group = getattr(self.repository, "abort_group", None)
-                if abort_group is not None:
-                    abort_group(staged)
-                else:
-                    for dov_id in reversed(staged):
-                        self.repository.abort_checkin(dov_id)
-                node.volatile[f"checkin-err:{txn_id}"] = str(exc)
-                self._record("group_checkin_prepare_failed", txn_id,
-                             da=da_id, error=str(exc),
-                             staged_rolled_back=len(staged))
-                return Vote.NO
-            staged.append(dov.dov_id)
-            mapping[record["provisional_id"]] = dov.dov_id
+                acquired.append(graph_lock)
+            now = self.clock.now
+            for record in records:
+                dov = self.repository.stage_checkin(
+                    da_id=record["da_id"],
+                    dot_name=record["dot_name"],
+                    data=record["data"],
+                    parents=tuple(mapping.get(p, p)
+                                  for p in record["parents"]),
+                    created_at=now,
+                )
+                staged.append(dov.dov_id)
+                mapping[record["provisional_id"]] = dov.dov_id
+                workstation = record.get("workstation") \
+                    or request.get("workstation")
+                if workstation:
+                    ws_by_dov[dov.dov_id] = workstation
+        except Exception as exc:  # noqa: BLE001 - any failure aborts
+            abort_group = getattr(self.repository, "abort_group", None)
+            if abort_group is not None:
+                abort_group(staged)
+            else:
+                for dov_id in reversed(staged):
+                    self.repository.abort_checkin(dov_id)
+            node.volatile[f"checkin-err:{txn_id}"] = str(exc)
+            self._record("group_checkin_prepare_failed", txn_id,
+                         error=str(exc),
+                         staged_rolled_back=len(staged))
+            return Vote.NO
+        finally:
+            for graph_lock in acquired:
+                self.locks.release(graph_lock, txn_id,
+                                   LockMode.SHORT_WRITE)
         self._staged_groups[txn_id] = staged
         node.volatile[f"group-checkin-map:{txn_id}"] = mapping
+        node.volatile[f"group-checkin-ws:{txn_id}"] = ws_by_dov
         self._record("group_checkin_prepared", txn_id, count=len(staged))
         return Vote.YES
 
@@ -344,8 +387,7 @@ class ServerTM:
         request = self.network.node(self.node_id).volatile.get(
             f"checkin-req:{txn_id}") or {}
         if request.get("lease") and request.get("workstation"):
-            self._leases.setdefault(dov.dov_id, set()).add(
-                request["workstation"])
+            self.leases.grant(request["workstation"], dov.dov_id)
         self._record("checkin_committed", dov.dov_id, da=dov.created_by)
 
     def _commit_group(self, txn_id: str, staged: list[str]) -> None:
@@ -355,12 +397,18 @@ class ServerTM:
         else:  # repository without the batch surface: per-version path
             dovs = [self.repository.commit_checkin(dov_id)
                     for dov_id in staged]
-        request = self.network.node(self.node_id).volatile.get(
-            f"group-checkin-req:{txn_id}") or {}
-        if request.get("lease") and request.get("workstation"):
+        node = self.network.node(self.node_id)
+        request = node.volatile.get(f"group-checkin-req:{txn_id}") or {}
+        if request.get("lease"):
+            # a cross-workstation batch stamps each record with its
+            # origin; leases go to the contributor, not the coordinator
+            ws_by_dov = node.volatile.get(
+                f"group-checkin-ws:{txn_id}") or {}
             for dov in dovs:
-                self._leases.setdefault(dov.dov_id, set()).add(
-                    request["workstation"])
+                workstation = ws_by_dov.get(dov.dov_id)
+                if workstation:
+                    self.leases.grant(workstation, dov.dov_id)
+        node.volatile[f"group-checkin-dovs:{txn_id}"] = list(dovs)
         self.group_checkins += 1
         self._record("group_checkin_committed", txn_id, count=len(dovs))
 
@@ -445,6 +493,13 @@ class ServerTM:
         return dict(node.volatile.get(f"group-checkin-map:{txn_id}")
                     or {})
 
+    def group_result(self, txn_id: str) -> list[DesignObjectVersion]:
+        """The durable versions of a committed group checkin, in batch
+        order (saves the gateway a read round per version)."""
+        node = self.network.node(self.node_id)
+        return list(node.volatile.get(f"group-checkin-dovs:{txn_id}")
+                    or [])
+
     # -- End-of-DOP support ---------------------------------------------------------
 
     def release_derivation_locks(self, da_id: str,
@@ -482,29 +537,43 @@ class ServerTM:
 
     def lease_holders(self, dov_id: str) -> set[str]:
         """Workstations currently leasing a buffered copy of *dov_id*."""
-        return set(self._leases.get(dov_id, ()))
+        return self.leases.holders(dov_id)
 
     def release_lease(self, workstation: str, dov_id: str) -> bool:
         """Release one lease (buffer eviction); True when it existed."""
-        holders = self._leases.get(dov_id)
-        if holders and workstation in holders:
-            holders.discard(workstation)
-            return True
-        return False
+        return self.leases.release(workstation, dov_id)
 
     def drop_leases(self, workstation: str) -> int:
         """Forget every lease of one workstation (its crash dropped the
         buffered copies, so there is nothing left to invalidate)."""
-        dropped = 0
-        for holders in self._leases.values():
-            if workstation in holders:
-                holders.discard(workstation)
-                dropped += 1
-        return dropped
+        return self.leases.drop_workstation(workstation)
 
     def clear_leases(self) -> None:
         """Server crash: the (volatile) lease table vanishes."""
-        self._leases.clear()
+        self.leases.clear()
+
+    def renew_leases(self, workstation: str) -> int:
+        """Handle a workstation's metadata-only renewal message.
+
+        Extends every lease the workstation holds by one fresh TTL; a
+        lease that already expired (or was recalled) while the message
+        was in flight stays dead — a renewal never resurrects, which
+        is what makes expiry racing an in-flight renewal safe.
+        Returns the number of leases extended.
+        """
+        renewed = self.leases.renew_workstation(workstation)
+        self._record("leases_renewed", workstation, count=renewed)
+        return renewed
+
+    def _on_lease_expired(self, workstation: str, dov_id: str) -> None:
+        """A TTL lease ran out unrenewed: expiry behaves like a recall.
+
+        The buffered copy is invalidated with the same asynchronous
+        LAN message an explicit supersession recall would send — the
+        workstation cannot tell the difference, by design.
+        """
+        self._post_invalidation(workstation, dov_id,
+                                superseded_by="<lease-expired>")
 
     def _on_server_restart(self) -> None:
         """Restart hook: re-validate or flush the registered buffers.
@@ -565,7 +634,7 @@ class ServerTM:
                             self.repository.describe(dov_id)
             kept = buffer.revalidate(descriptions)
             for dov_id in buffer.clean_ids():
-                self._leases.setdefault(dov_id, set()).add(workstation)
+                self.leases.grant(workstation, dov_id)
             dropped = len(clean) - kept
             report[workstation] = {"kept": kept, "dropped": dropped}
             self._record("buffers_revalidated", workstation,
@@ -589,14 +658,10 @@ class ServerTM:
         else:
             superseded = list(dov.parents)
         for dov_id in superseded:
-            holders = self._leases.get(dov_id)
-            if not holders:
-                continue
             # revoke BEFORE posting: a synchronous delivery can recall
             # a dirty dependent whose flush re-enters this observer —
             # with the lease already gone it cannot double-send
-            recipients = sorted(holders)
-            holders.clear()
+            recipients = sorted(self.leases.release_all(dov_id))
             for workstation in recipients:
                 self._post_invalidation(workstation, dov_id,
                                         superseded_by=dov.dov_id)
@@ -646,7 +711,8 @@ class ClientTM:
                  buffer: ObjectBuffer | None = None,
                  write_back: bool = False,
                  flush_interval: int | None = None,
-                 flush_on_end_dop: bool = True) -> None:
+                 flush_on_end_dop: bool = True,
+                 pressure_fraction: float = 1.0) -> None:
         self.workstation = workstation
         self.server_tm = server_tm
         self.rpc = rpc
@@ -665,11 +731,17 @@ class ClientTM:
         self.flush_interval = flush_interval
         #: flush the dirty set at End-of-DOP (the paper-shaped default)
         self.flush_on_end_dop = flush_on_end_dop
+        #: capacity-pressure flush policy: ship only the oldest dirty
+        #: prefix — ``ceil(fraction * dirty)`` entries — instead of the
+        #: whole set (1.0 keeps the flush-everything behaviour).  The
+        #: prefix is enough to relieve pressure, and the youngest
+        #: entries stay resident to keep coalescing
+        self.pressure_fraction = pressure_fraction
         if buffer is not None:
             server_tm.register_buffer(workstation, buffer)
             if self.write_back:
-                buffer.on_pressure = self._flush_on_trigger
-                buffer.on_recall = self._flush_on_trigger
+                buffer.on_pressure = self._flush_on_pressure
+                buffer.on_recall = self._flush_on_recall
         #: payload bytes fetched from the server (buffer misses and,
         #: with caching off, every checkout)
         self.bytes_fetched = 0
@@ -684,13 +756,22 @@ class ClientTM:
         #: provisional id -> durable id (committed group checkins)
         self._resolved: dict[str, str] = {}
         #: reentrancy guard: a flush's own commit schedules
-        #: invalidations that could recall the flush mid-flight
-        self._flushing = False
+        #: invalidations that could recall the flush mid-flight (also
+        #: set by :func:`repro.txn.flush_group` while this client's
+        #: dirty set rides a cross-workstation commit)
+        self.flushing = False
+        #: simulated instant of the last lease-renewal message (TTL
+        #: leases only; renewals are rate-limited to ttl/2)
+        self._last_renewal: float | None = None
         node = rpc.network.node(workstation)
         self.node = node
         self.recovery = RecoveryManager(node.stable, policy)
-        self.coordinator = TwoPhaseCoordinator(
-            rpc.network, workstation, protocol=protocol)
+        #: the txn layer's commit gateway: every commit shape of this
+        #: workstation (single checkin, group flush, its slice of a
+        #: cross-workstation commit) is driven through it
+        self.gateway = CommitGateway(rpc, server_tm, workstation,
+                                     protocol=protocol, ids=self.ids)
+        self.coordinator = self.gateway.coordinator
         #: volatile table of running DOPs — lost on workstation crash
         self._active: dict[str, DesignOperation] = {}
         #: callback fired with (dop, CheckinResult) on End-of-DOP; the DM
@@ -777,6 +858,7 @@ class ClientTM:
         if self.buffer is not None and not derivation_lock:
             cached = self.buffer.get(dov_id, dop.da_id)
             if cached is not None:
+                self._maybe_renew_leases()
                 self._install_checkout(dop, cached, dov_id, cached=True)
                 return cached
         result = self.rpc.call(
@@ -812,6 +894,50 @@ class ClientTM:
             size=dov.payload_size)
         self.bytes_fetched += dov.payload_size
         self.fetch_time += delay
+
+    def _maybe_renew_leases(self) -> None:
+        """Renew this workstation's leases when a hit shows the buffer
+        is live and the TTL budget is half spent.
+
+        TTL regime only (``server_tm.lease_ttl`` set): renewals are
+        driven by actual buffer use, so an idle workstation stops
+        renewing and its leases decay out of the table by expiry —
+        the bound the TTL design buys.  Rate-limited to one renewal
+        message per ttl/2 of simulated time.
+        """
+        ttl = getattr(self.server_tm, "lease_ttl", None)
+        if ttl is None or self.buffer is None:
+            return
+        now = self.clock.now
+        if self._last_renewal is None:
+            # anchor the window at first use: the leases were granted
+            # moments ago, their budget is essentially unspent
+            self._last_renewal = now
+            return
+        if now - self._last_renewal < ttl / 2:
+            return
+        self._last_renewal = now
+        self.renew_leases()
+
+    def renew_leases(self) -> float:
+        """Send one metadata-only renewal message for ALL held leases.
+
+        A single small LAN message (no payload bytes re-ship) extends
+        every lease this workstation holds by a fresh TTL; delivery is
+        an ordinary timed kernel event, so an expiry racing the
+        in-flight renewal resolves deterministically — and a lease
+        that expired first stays dead (renewals never resurrect).
+        Returns the transport delay of the message.
+        """
+        server = self.server_tm
+        workstation = self.workstation
+        delay = self.rpc.network.post(
+            workstation, server.node_id,
+            lambda: server.renew_leases(workstation),
+            label=f"lease-renew:{workstation}",
+            size=server.invalidation_bytes)
+        self._record("lease_renewal", workstation)
+        return delay
 
     def _install_checkout(self, dop: DesignOperation,
                           dov: DesignObjectVersion, dov_id: str,
@@ -915,22 +1041,11 @@ class ClientTM:
         if self.write_back and self.buffer is not None:
             return self._checkin_write_back(dop, dot_name, payload,
                                             lineage)
-        txn_id = self.ids.next(f"txn-{self.workstation}")
-        self.rpc.call(self.workstation, self.server_tm.node_id,
-                      "request_checkin", txn_id, dop.da_id, dot_name,
-                      payload, lineage,
-                      workstation=self.workstation,
-                      lease=self.buffer is not None)
-        # the derived data ships workstation -> server (the checkin
-        # direction of the data-shipping path; the RPC above is the
-        # control message)
-        self.rpc.network.post(
-            self.workstation, self.server_tm.node_id, lambda: None,
-            label=f"dov-upload:{txn_id}", size=payload_sizeof(payload))
-        outcome = self.coordinator.execute(txn_id, [self.server_tm])
-        if outcome.committed:
-            dov_id = self.server_tm.staged_dov(txn_id)
-            dov = self.server_tm.repository.read(dov_id)
+        result = self.gateway.single_checkin(
+            dop.da_id, dot_name, payload, lineage,
+            lease=self.buffer is not None)
+        if result.committed:
+            dov = result.dov
             dop.output_dov = dov.dov_id
             if self.buffer is not None:
                 # checkin results stay resident: the workstation just
@@ -938,10 +1053,10 @@ class ClientTM:
                 # frontier is a local hit
                 self.buffer.put(dov, dop.da_id, now=self.clock.now)
             self._record("checkin", dov.dov_id, dop=dop.dop_id)
-            return CheckinResult(True, dov=dov, outcome=outcome)
-        reason = self.server_tm.checkin_error(txn_id) or "2PC abort"
-        self._record("checkin_failed", dop.dop_id, reason=reason)
-        return CheckinResult(False, reason=reason, outcome=outcome)
+            return CheckinResult(True, dov=dov, outcome=result.outcome)
+        self._record("checkin_failed", dop.dop_id, reason=result.reason)
+        return CheckinResult(False, reason=result.reason,
+                             outcome=result.outcome)
 
     # -- write-back: deferred checkin + group flush ---------------------------------
 
@@ -969,7 +1084,7 @@ class ClientTM:
             "parents": resolved_lineage,
             "dop_id": dop.dop_id,
         }
-        before = {e.dov.dov_id for e in self.buffer.dirty_entries()}
+        before = set(self.buffer.dirty_ids())
         self.buffer.put_dirty(dov, dop.da_id, record,
                               now=self.clock.now)
         # record which provisional ids this entry coalesced away, so
@@ -981,84 +1096,135 @@ class ClientTM:
         dop.output_dov = provisional_id
         self._record("checkin_deferred", provisional_id,
                      dop=dop.dop_id,
-                     dirty=len(self.buffer.dirty_entries()))
+                     dirty=self.buffer.dirty_count)
         if self.flush_interval \
-                and len(self.buffer.dirty_entries()) \
-                >= self.flush_interval:
+                and self.buffer.dirty_count >= self.flush_interval:
             self.flush()
         return CheckinResult(True, dov=dov, provisional=True)
 
-    def _flush_on_trigger(self) -> None:
-        """Buffer hook target (capacity pressure / lease recall)."""
-        if not self._flushing:
+    def _flush_on_pressure(self) -> None:
+        """Buffer hook target: capacity pressure.
+
+        Ships only the oldest ``ceil(pressure_fraction * dirty)``
+        entries — enough to turn pinned bytes into evictable clean
+        residents, while the youngest checkins stay dirty and keep
+        coalescing (a full flush would forfeit exactly the write-back
+        savings pressure is most likely to hit).
+        """
+        if self.flushing:
+            return
+        dirty = self.buffer.dirty_count
+        if self.pressure_fraction >= 1.0 or dirty <= 1:
+            self.flush()
+            return
+        self.flush(limit=max(1, math.ceil(self.pressure_fraction
+                                          * dirty)))
+
+    def _flush_on_recall(self) -> None:
+        """Buffer hook target: a lease recall touched dirty lineage."""
+        if not self.flushing:
             self.flush()
 
-    def flush(self) -> FlushResult:
+    def collect_flush_records(self, limit: int | None = None
+                              ) -> tuple[list[dict[str, Any]], list[int]]:
+        """The dirty set as (records, sizes), oldest first.
+
+        With *limit*, only the oldest dirty prefix is collected (the
+        capacity-pressure policy).  Records are handed to the server
+        as-is; a committed flush retires them via
+        :meth:`apply_flush_commit`, an aborted one leaves the entries
+        dirty and untouched for retry.
+        """
+        dirty = self.buffer.dirty_entries(limit)
+        return ([entry.record for entry in dirty],
+                [entry.size for entry in dirty])
+
+    def apply_flush_commit(self, records: list[dict[str, Any]],
+                           sizes: list[int], mapping: dict[str, str],
+                           dovs: list[DesignObjectVersion]) -> None:
+        """Apply a committed group checkin to this workstation's state.
+
+        *mapping*/*dovs* may span a whole cross-workstation batch;
+        only this client's *records* slice is applied here.  The
+        buffer rebinds the provisional entries to their durable
+        versions (still resident, under fresh leases), running DOPs
+        learn their durable output ids, and — after a *partial*
+        (capacity-pressure) flush — the still-dirty remainder's
+        lineage is rewritten to the durable ids so a later flush ships
+        a consistent chain.
+        """
+        durable = {dov.dov_id: dov for dov in dovs}
+        own = {record["provisional_id"]: mapping[record["provisional_id"]]
+               for record in records
+               if record["provisional_id"] in mapping}
+        self.buffer.rebind({provisional: durable[durable_id]
+                            for provisional, durable_id in own.items()
+                            if durable_id in durable})
+        self._resolved.update(own)
+        for dop in self._active.values():
+            if dop.output_dov in own:
+                dop.output_dov = own[dop.output_dov]
+        for entry in self.buffer.dirty_entries():
+            record = entry.record
+            if record and any(p in own for p in record["parents"]):
+                record["parents"] = [own.get(p, p)
+                                     for p in record["parents"]]
+        self.flushes += 1
+        self.flushed_checkins += len(records)
+        self.bytes_flushed += sum(sizes)
+        self._record("flush", self.workstation, count=len(records),
+                     bytes=sum(sizes))
+
+    def fail_flush(self, records: list[dict[str, Any]],
+                   reason: str) -> None:
+        """Record an aborted flush; the entries stay dirty for retry."""
+        self._record("flush_failed", self.workstation, reason=reason,
+                     count=len(records))
+
+    def flush(self, limit: int | None = None) -> FlushResult:
         """Ship the buffer's dirty set as one batched group checkin.
 
-        One control RPC carries the deferred checkin records, one
-        **sized batch message** carries their combined payload bytes
-        (`Network.post_batch` — the latency scales with the batch
-        total, not with the record count), and one 2PC commits the
-        whole batch atomically at the server.  On commit the buffer
-        rebinds the provisional entries to the durable versions the
-        server assigned (they stay resident under fresh leases) and
-        :meth:`resolve` learns the id mapping.  On abort — integrity
-        rejection or a server crash mid-batch — *nothing* becomes
-        durable; the entries stay dirty so a later flush (e.g. after
-        the server restarts) can retry.
+        The drive itself — txn id, control RPC, ONE sized batch
+        message, the 2PC — belongs to the txn layer's
+        :class:`~repro.txn.gateway.CommitGateway`; this method is the
+        thin participant around it: collect the dirty records (all of
+        them, or the oldest *limit* under capacity pressure), hand
+        them to the gateway, and apply the outcome.  On commit the
+        buffer rebinds the provisional entries to the durable versions
+        the server assigned (they stay resident under fresh leases)
+        and :meth:`resolve` learns the id mapping.  On abort —
+        integrity rejection or a server crash mid-batch — *nothing*
+        becomes durable; the entries stay dirty so a later flush (e.g.
+        after the server restarts) can retry.
 
-        Network activity is exactly the above; under the concurrent
-        kernel the batch message and the resulting lease invalidations
-        are ordinary timed events in deterministic batch order, so
-        identically seeded runs remain trace-identical.
+        Under the concurrent kernel the batch message and the
+        resulting lease invalidations are ordinary timed events in
+        deterministic batch order, so identically seeded runs remain
+        trace-identical.
         """
         if self.buffer is None:
             return FlushResult(True, count=0)
-        dirty = self.buffer.dirty_entries()
-        if not dirty or self._flushing:
+        if self.flushing or not self.buffer.dirty_count:
             return FlushResult(True, count=0)
-        self._flushing = True
+        self.flushing = True
         try:
-            records = [dict(entry.record) for entry in dirty]
-            sizes = [entry.size for entry in dirty]
-            txn_id = self.ids.next(f"txn-{self.workstation}")
-            self.rpc.call(self.workstation, self.server_tm.node_id,
-                          "request_group_checkin", txn_id, records,
-                          workstation=self.workstation, lease=True)
-            # the batched data ships workstation -> server as ONE
-            # sized message (the group-checkin direction of the
-            # data-shipping path; the RPC above is control traffic)
-            self.rpc.network.post_batch(
-                self.workstation, self.server_tm.node_id, lambda: None,
-                label=f"group-checkin:{txn_id}", sizes=sizes)
-            outcome = self.coordinator.execute(txn_id, [self.server_tm])
-            if not outcome.committed:
-                reason = self.server_tm.checkin_error(txn_id) \
-                    or "2PC abort"
-                self._record("flush_failed", txn_id, reason=reason,
-                             count=len(records))
+            records, sizes = self.collect_flush_records(limit)
+            result = self.gateway.group_checkin(
+                [GroupRequest(self.workstation, records, sizes)],
+                lease=True)
+            if not result.committed:
+                self.fail_flush(records, result.reason)
                 return FlushResult(False, count=len(records),
-                                   reason=reason, outcome=outcome)
-            mapping = self.server_tm.group_mapping(txn_id)
-            repository = self.server_tm.repository
-            durable = {provisional: repository.read(durable_id)
-                       for provisional, durable_id in mapping.items()}
-            self.buffer.rebind(durable)
-            self._resolved.update(mapping)
-            for dop in self._active.values():
-                if dop.output_dov in mapping:
-                    dop.output_dov = mapping[dop.output_dov]
-            self.flushes += 1
-            self.flushed_checkins += len(records)
-            self.bytes_flushed += sum(sizes)
-            self._record("flush", txn_id, count=len(records),
-                         bytes=sum(sizes))
+                                   reason=result.reason,
+                                   outcome=result.outcome)
+            self.apply_flush_commit(records, sizes, result.mapping,
+                                    result.dovs)
             return FlushResult(True, count=len(records),
                                bytes_shipped=sum(sizes),
-                               mapping=mapping, outcome=outcome)
+                               mapping=dict(result.mapping),
+                               outcome=result.outcome)
         finally:
-            self._flushing = False
+            self.flushing = False
 
     def resolve(self, dov_id: str) -> str:
         """The durable id a provisional (write-back) id ended up as.

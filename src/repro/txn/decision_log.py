@@ -1,0 +1,158 @@
+"""The global decision log of the federated atomic commit.
+
+The paper's Sect.6 assumes "heterogeneous and distributed data
+management does not influence the major model of operation" — but a
+federation whose ``commit_group`` is atomic only *per member* breaks
+exactly that promise when a member crashes mid-batch.  The missing
+piece is the classic one: a durable, coordinator-side **decision log**.
+
+:class:`GlobalDecisionLog` records the COMMIT decision of a
+cross-member batch — together with its *manifest* (which member owns
+which staged versions) — in **one forced log write** before any member
+is told to commit.  The protocol is presumed abort:
+
+* a logged decision *is* the commit point — members that crash after
+  it redo their portion from their own forced prepare records when
+  they recover;
+* a missing decision *means* abort — a member that finds a prepared
+  but undecided batch at restart discards it, no abort record needed.
+
+Completion records (all members applied the decision) are appended
+un-forced: losing one merely makes recovery re-examine a batch whose
+redo is idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.two_phase_commit import Decision
+from repro.repository.wal import LogRecordKind, WriteAheadLog
+
+
+class GlobalDecisionLog:
+    """Durable commit decisions for cross-member batches (presumed abort).
+
+    The log is coordinator-side stable storage: its forced records
+    survive any member crash (and whole-site recovery rebuilds the
+    in-memory maps from them via :meth:`recover`).
+    """
+
+    def __init__(self, wal: WriteAheadLog | None = None) -> None:
+        self.wal = wal if wal is not None \
+            else WriteAheadLog("global-decision-log")
+        #: gtxn id -> logged decision (COMMIT only: presumed abort)
+        self._decisions: dict[str, Decision] = {}
+        #: gtxn id -> {member: [dov ids]} batch manifest
+        self._manifests: dict[str, dict[str, list[str]]] = {}
+        #: gtxn ids every member has completed
+        self._completed: set[str] = set()
+        #: fired *after* the decision record is durable and *before*
+        #: any participant is notified — the exact window the T10
+        #: crash-injection (and the coordinator-crash test) target
+        self.on_decision: Callable[[str, dict[str, list[str]]],
+                                   None] | None = None
+
+    # -- writing ------------------------------------------------------------
+
+    def record(self, gtxn_id: str,
+               manifest: dict[str, list[str]]) -> None:
+        """Durably log the COMMIT decision for *gtxn_id* (one force).
+
+        This is the commit point of a cross-member batch: after this
+        returns, the batch **will** become durable at every manifest
+        member — immediately, or at member recovery via redo.
+        """
+        if gtxn_id in self._decisions:
+            return  # idempotent: the decision is already durable
+        self.wal.append(LogRecordKind.GLOBAL_DECISION, {
+            "gtxn": gtxn_id,
+            "decision": Decision.COMMIT.value,
+            "manifest": {member: list(ids)
+                         for member, ids in manifest.items()},
+        }, force=True)
+        self._decisions[gtxn_id] = Decision.COMMIT
+        self._manifests[gtxn_id] = {member: list(ids)
+                                    for member, ids in manifest.items()}
+        if self.on_decision is not None:
+            self.on_decision(gtxn_id, self.manifest(gtxn_id))
+
+    def mark_complete(self, gtxn_id: str) -> None:
+        """Every member applied the decision (un-forced end record)."""
+        if gtxn_id in self._completed:
+            return
+        self.wal.append(LogRecordKind.GLOBAL_DECISION,
+                        {"gtxn": gtxn_id, "complete": True}, force=False)
+        self._completed.add(gtxn_id)
+
+    # -- reading ------------------------------------------------------------
+
+    def decision_for(self, gtxn_id: str) -> Decision | None:
+        """The logged decision, or None when nothing was recorded."""
+        return self._decisions.get(gtxn_id)
+
+    def resolve(self, gtxn_id: str) -> Decision:
+        """Answer a recovering member's in-doubt query (presumed abort):
+        a missing decision record *means* the batch aborted."""
+        return self._decisions.get(gtxn_id, Decision.ABORT)
+
+    def manifest(self, gtxn_id: str) -> dict[str, list[str]]:
+        """The batch manifest of a logged decision (member -> dov ids)."""
+        return {member: list(ids) for member, ids
+                in self._manifests.get(gtxn_id, {}).items()}
+
+    def decisions(self) -> list[str]:
+        """Every logged COMMIT decision, in log order."""
+        return list(self._decisions)
+
+    def incomplete(self) -> list[str]:
+        """Logged COMMIT decisions not yet marked complete, in log
+        order — the recovery work list after a coordinator crash."""
+        return [gtxn_id for gtxn_id in self._decisions
+                if gtxn_id not in self._completed]
+
+    # -- recovery -----------------------------------------------------------
+
+    def crash(self) -> int:
+        """Coordinator crash: the in-memory maps and the un-forced log
+        tail vanish; forced decision records survive.  Returns the
+        number of tail records lost."""
+        lost = self.wal.crash()
+        self._decisions.clear()
+        self._manifests.clear()
+        self._completed.clear()
+        return lost
+
+    def recover(self) -> int:
+        """Rebuild the in-memory maps from the stable log records.
+
+        Returns the number of decisions recovered.  The unforced tail
+        (completion records of batches finished just before a crash)
+        is gone — harmless, redo is idempotent.
+        """
+        self._decisions.clear()
+        self._manifests.clear()
+        self._completed.clear()
+        for record in self.wal.stable_records(
+                LogRecordKind.GLOBAL_DECISION):
+            gtxn_id = record.payload["gtxn"]
+            if record.payload.get("complete"):
+                self._completed.add(gtxn_id)
+            else:
+                self._decisions[gtxn_id] = Decision(
+                    record.payload["decision"])
+                self._manifests[gtxn_id] = {
+                    member: list(ids) for member, ids
+                    in record.payload["manifest"].items()}
+        return len(self._decisions)
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for the bench/experiment surface."""
+        return {
+            "decisions": len(self._decisions),
+            "completed": len(self._completed),
+            "incomplete": len(self.incomplete()),
+            "forced_writes": self.wal.forced_writes,
+        }

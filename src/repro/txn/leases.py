@@ -1,0 +1,242 @@
+"""Read leases with TTL renewal — the coherence half of data shipping.
+
+PR 2 introduced explicit lease *recalls*: the server remembers every
+``(workstation, dov_id)`` it shipped a version to and revokes the
+lease with an invalidation message when a checkin supersedes it.  That
+table is pure server state, and each recall is server work proportional
+to the sharing degree.
+
+TTL **renewal leases** shift the contract: a lease is granted for a
+*time to live*; the workstation keeps it alive with metadata-only
+renewal messages while it keeps using the copy, and an unrenewed lease
+simply **expires** — the expiry behaves exactly like a recall (the
+buffered copy is dropped), driven by an ordinary kernel timer event
+rather than by an explicit server decision.  Cold entries therefore
+decay out of the coherence protocol by themselves, bounding the lease
+table by the *active* working set instead of everything ever shipped.
+
+:class:`LeaseTable` implements both regimes behind one surface:
+``ttl=None`` (the default) reproduces the recall-only behaviour —
+leases never expire, nothing is scheduled — while a numeric ``ttl``
+arms one expiry-check timer per grant on the attached kernel.
+Renewals never resurrect: extending a lease that already expired (or
+was recalled) is a no-op, which is what makes a renewal racing an
+in-flight expiry safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Timer
+
+
+@dataclass
+class Lease:
+    """One granted read lease."""
+
+    workstation: str
+    dov_id: str
+    granted_at: float
+    #: simulated expiry instant; None = no TTL (explicit recall only)
+    expires_at: float | None
+
+
+class LeaseTable:
+    """The server's lease table: grants, renewals, recalls, expiry.
+
+    All mutators are synchronous bookkeeping; the only kernel activity
+    is the expiry-check timer a TTL grant arms (label
+    ``lease-expiry:<dov>@<ws>``), and :attr:`on_expire` is where the
+    server-TM hangs the recall-equivalent invalidation message.  A
+    renewal while a check is armed does not schedule a second event —
+    the armed check re-arms itself at the extended expiry, so the
+    number of timer events stays bounded by the number of renewals.
+    """
+
+    def __init__(self, clock: SimClock | None = None,
+                 ttl: float | None = None,
+                 kernel_source: Callable[[], Any] | None = None) -> None:
+        self.clock = clock or SimClock()
+        #: lease time-to-live (None = leases never expire)
+        self.ttl = ttl
+        #: zero-arg callable yielding the kernel to arm expiry checks
+        #: on (resolved lazily — networks attach their kernel late)
+        self._kernel_source = kernel_source
+        #: dov_id -> workstation -> lease
+        self._holders: dict[str, dict[str, Lease]] = {}
+        #: fired with (workstation, dov_id) when a lease expires —
+        #: expiry behaves like a recall
+        self.on_expire: Callable[[str, str], None] | None = None
+        self.grants = 0
+        self.renewals = 0
+        self.expirations = 0
+        #: one re-armable expiry timer per (workstation, dov_id)
+        self._timers: dict[tuple[str, str], Timer] = {}
+
+    # -- grants -------------------------------------------------------------
+
+    def _kernel(self) -> Any:
+        return self._kernel_source() if self._kernel_source else None
+
+    def grant(self, workstation: str, dov_id: str) -> Lease:
+        """Grant (or refresh) the lease of *workstation* on *dov_id*.
+
+        Re-granting an existing lease extends it like a renewal would.
+        """
+        now = self.clock.now
+        expires = now + self.ttl if self.ttl is not None else None
+        holders = self._holders.setdefault(dov_id, {})
+        lease = holders.get(workstation)
+        if lease is not None:
+            lease.expires_at = expires
+        else:
+            lease = Lease(workstation, dov_id, now, expires)
+            holders[workstation] = lease
+            self.grants += 1
+        self._arm(lease)
+        return lease
+
+    def _arm(self, lease: Lease) -> None:
+        if lease.expires_at is None:
+            return
+        key = (lease.workstation, lease.dov_id)
+        timer = self._timers.get(key)
+        if timer is None:
+            kernel = self._kernel()
+            if kernel is None:
+                return  # no kernel: expiry via expire_due() sweeps
+            timer = Timer(kernel, lambda: self._on_timer(key),
+                          label=f"lease-expiry:{lease.dov_id}"
+                                f"@{lease.workstation}")
+            self._timers[key] = timer
+        timer.arm(lease.expires_at)
+
+    def _on_timer(self, key: tuple[str, str]) -> None:
+        workstation, dov_id = key
+        lease = self._holders.get(dov_id, {}).get(workstation)
+        if lease is None or lease.expires_at is None:
+            return  # recalled/released meanwhile, or TTL switched off
+        if lease.expires_at > self.clock.now + 1e-12:
+            self._arm(lease)  # renewed at the timer instant itself
+            return
+        self._expire(lease)
+
+    def _expire(self, lease: Lease) -> None:
+        self.release(lease.workstation, lease.dov_id)
+        self.expirations += 1
+        if self.on_expire is not None:
+            self.on_expire(lease.workstation, lease.dov_id)
+
+    def expire_due(self) -> list[tuple[str, str]]:
+        """Kernel-less sweep: expire every overdue lease *now*.
+
+        Returns the expired ``(workstation, dov_id)`` pairs in grant
+        order.  Deployments without a kernel (sequential rigs, unit
+        tests) call this instead of relying on timer events.
+        """
+        now = self.clock.now
+        due = [lease for holders in self._holders.values()
+               for lease in holders.values()
+               if lease.expires_at is not None
+               and lease.expires_at <= now + 1e-12]
+        for lease in due:
+            self._expire(lease)
+        return [(lease.workstation, lease.dov_id) for lease in due]
+
+    # -- renewal ------------------------------------------------------------
+
+    def renew(self, workstation: str, dov_id: str) -> bool:
+        """Extend one lease by a fresh TTL; False when it no longer
+        exists (a renewal never resurrects an expired lease)."""
+        lease = self._holders.get(dov_id, {}).get(workstation)
+        if lease is None:
+            return False
+        if self.ttl is not None:
+            lease.expires_at = self.clock.now + self.ttl
+        self.renewals += 1
+        return True
+
+    def renew_workstation(self, workstation: str) -> int:
+        """Renew every lease of *workstation* (the metadata-only batch
+        renewal message); returns the number of leases extended."""
+        renewed = 0
+        for holders in self._holders.values():
+            if workstation in holders:
+                renewed += bool(self.renew(workstation,
+                                           holders[workstation].dov_id))
+        return renewed
+
+    # -- queries ------------------------------------------------------------
+
+    def holders(self, dov_id: str) -> set[str]:
+        """Workstations currently leasing *dov_id*."""
+        return set(self._holders.get(dov_id, ()))
+
+    def lease(self, workstation: str, dov_id: str) -> Lease | None:
+        """The live lease of *(workstation, dov_id)*, if any."""
+        return self._holders.get(dov_id, {}).get(workstation)
+
+    def __len__(self) -> int:
+        return sum(len(holders) for holders in self._holders.values())
+
+    # -- recall / release ---------------------------------------------------
+
+    def release(self, workstation: str, dov_id: str) -> bool:
+        """Drop one lease (recall, eviction, expiry); True when held."""
+        holders = self._holders.get(dov_id)
+        if not holders or workstation not in holders:
+            return False
+        del holders[workstation]
+        if not holders:
+            del self._holders[dov_id]
+        timer = self._timers.pop((workstation, dov_id), None)
+        if timer is not None:
+            timer.cancel()
+        return True
+
+    def release_all(self, dov_id: str) -> list[str]:
+        """Drop every lease on *dov_id* (supersession recall); returns
+        the previous holders in grant order."""
+        holders = list(self._holders.get(dov_id, ()))
+        for workstation in holders:
+            self.release(workstation, dov_id)
+        return holders
+
+    def drop_workstation(self, workstation: str) -> int:
+        """Forget every lease of one workstation (its crash)."""
+        dropped = 0
+        for dov_id in list(self._holders):
+            dropped += bool(self.release(workstation, dov_id))
+        return dropped
+
+    def clear(self) -> None:
+        """Server crash: the (volatile) lease table vanishes."""
+        self._holders.clear()
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    # -- dict-of-sets compatibility ----------------------------------------
+
+    def __setitem__(self, dov_id: str,
+                    workstations: Iterable[str]) -> None:
+        """Grant leases wholesale (the PR 2 table was a plain
+        ``dict[str, set[str]]``; rigs that seeded it directly keep
+        working)."""
+        for workstation in workstations:
+            self.grant(workstation, dov_id)
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of the lease counters."""
+        return {
+            "live": len(self),
+            "ttl": self.ttl,
+            "grants": self.grants,
+            "renewals": self.renewals,
+            "expirations": self.expirations,
+        }

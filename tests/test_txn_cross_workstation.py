@@ -1,0 +1,235 @@
+"""Cross-workstation group commit: several dirty sets, one decision.
+
+PR-5 acceptance surface of :func:`repro.txn.flush_group`: the dirty
+sets of several client-TMs ship under ONE coordinator, ONE 2PC
+decision and ONE forced repository WAL write; every contributor posts
+its own sized batch message (byte accounting per workstation is
+preserved), leases land at the contributing workstation, and the
+combined batch is all-or-nothing — one bad record aborts everyone.
+Also covers the capacity-pressure partial flush (oldest dirty prefix).
+"""
+
+from __future__ import annotations
+
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.sim.clock import SimClock
+from repro.te.locks import LockManager
+from repro.te.object_buffer import ObjectBuffer
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.txn import flush_group
+from repro.util.ids import IdGenerator
+
+
+def make_rig(team: int = 3, capacity: int | None = None,
+             pressure_fraction: float = 1.0):
+    clock = SimClock()
+    network = Network(clock, bandwidth=1000.0)
+    network.add_server()
+    rpc = TransactionalRpc(network)
+    ids = IdGenerator()
+    repo = DesignDataRepository(ids)
+    repo.register_dot(DesignObjectType("Cell", attributes=[
+        AttributeDef("area", AttributeKind.FLOAT, required=False)]))
+    locks = LockManager()
+    server_tm = ServerTM(repo, locks, network, clock=clock)
+    server_tm.scope_check = lambda da_id, dov_id: True
+    register_server_endpoints(rpc, server_tm)
+    clients = []
+    for index in range(team):
+        workstation = f"ws-{index}"
+        network.add_workstation(workstation)
+        repo.create_graph(f"da-{index}")
+        buffer = ObjectBuffer(workstation, capacity_bytes=capacity,
+                              policy="lru")
+        clients.append(ClientTM(
+            workstation, server_tm, rpc, clock, ids, buffer=buffer,
+            write_back=True, flush_on_end_dop=False,
+            pressure_fraction=pressure_fraction))
+    return {"clock": clock, "network": network, "repo": repo,
+            "server_tm": server_tm, "clients": clients}
+
+
+def stage_checkins(rig, per_client: int = 2, area: float = 10.0):
+    dops = []
+    for index, client in enumerate(rig["clients"]):
+        dop = client.begin_dop(f"da-{index}", tool="t")
+        for step in range(per_client):
+            client.checkin(dop, "Cell",
+                           data={"area": area + index + step},
+                           parents=[])
+        dops.append(dop)
+    return dops
+
+
+class TestCrossWorkstationGroupCommit:
+    def test_one_decision_one_wal_force_for_all_contributors(self):
+        rig = make_rig(team=3)
+        dops = stage_checkins(rig, per_client=2)
+        forced_before = rig["repo"].wal.forced_writes
+        report = flush_group(rig["clients"])
+        assert report.success
+        assert report.count == 6
+        assert report.workstations == ["ws-0", "ws-1", "ws-2"]
+        # the whole cross-workstation batch rode ONE forced WAL write
+        assert rig["repo"].wal.forced_writes == forced_before + 1
+        assert rig["server_tm"].group_checkins == 1
+        # every provisional id resolved and became durable
+        for dop, client in zip(dops, rig["clients"]):
+            durable = client.resolve(dop.output_dov)
+            assert durable in rig["repo"]
+        for client in rig["clients"]:
+            assert client.buffer.dirty_count == 0
+            assert client.flushes == 1
+
+    def test_bytes_and_batches_attributed_per_workstation(self):
+        rig = make_rig(team=2)
+        stage_checkins(rig, per_client=2)
+        network = rig["network"]
+        network.reset_counters()
+        report = flush_group(rig["clients"])
+        assert report.success
+        stats = network.traffic_stats()
+        # one sized batch message per contributor
+        assert stats["batches_sent"] == 2
+        assert stats["batched_payloads"] == 4
+        assert stats["bytes_sent_by"]["ws-0"] > 0
+        assert stats["bytes_sent_by"]["ws-1"] > 0
+        assert report.bytes_shipped \
+            == stats["bytes_sent_by"]["ws-0"] \
+            + stats["bytes_sent_by"]["ws-1"]
+
+    def test_leases_go_to_the_contributor_not_the_coordinator(self):
+        rig = make_rig(team=2)
+        dops = stage_checkins(rig, per_client=1)
+        report = flush_group(rig["clients"])
+        assert report.success
+        server_tm = rig["server_tm"]
+        for index, (dop, client) in enumerate(zip(dops,
+                                                  rig["clients"])):
+            durable = client.resolve(dop.output_dov)
+            assert server_tm.lease_holders(durable) == {f"ws-{index}"}
+            # the durable version stayed resident at its contributor
+            assert durable in client.buffer
+
+    def test_cross_batch_is_all_or_nothing(self):
+        """One client's integrity-violating record aborts everyone."""
+        rig = make_rig(team=2)
+        good, bad = rig["clients"]
+        dop_good = good.begin_dop("da-0", tool="t")
+        good.checkin(dop_good, "Cell", data={"area": 1.0}, parents=[])
+        dop_bad = bad.begin_dop("da-1", tool="t")
+        bad.checkin(dop_bad, "Cell", data={"area": "not-a-float"},
+                    parents=[])
+        forced_before = rig["repo"].wal.forced_writes
+        report = flush_group(rig["clients"])
+        assert not report.success
+        assert "area" in report.reason
+        # nothing became durable anywhere, nothing was forced
+        assert rig["repo"].stats()["durable_versions"] == 0
+        assert rig["repo"].wal.forced_writes == forced_before
+        # both dirty sets survive intact for a later retry
+        assert good.buffer.dirty_count == 1
+        assert bad.buffer.dirty_count == 1
+        assert good.flushes == 0 and bad.flushes == 0
+
+    def test_clients_without_dirty_data_do_not_contribute(self):
+        rig = make_rig(team=3)
+        busy = rig["clients"][0]
+        dop = busy.begin_dop("da-0", tool="t")
+        busy.checkin(dop, "Cell", data={"area": 2.0}, parents=[])
+        report = flush_group(rig["clients"])
+        assert report.success
+        assert report.workstations == ["ws-0"]
+        assert report.count == 1
+
+    def test_empty_flush_group_is_a_trivial_success(self):
+        rig = make_rig(team=2)
+        report = flush_group(rig["clients"])
+        assert report.success and report.count == 0
+        assert rig["server_tm"].group_checkins == 0
+
+    def test_unflushed_lineage_resolves_across_the_cross_batch(self):
+        """A second cross flush whose parents are first-flush durable
+        ids commits cleanly — the mapping threads through."""
+        rig = make_rig(team=2)
+        client = rig["clients"][0]
+        dop = client.begin_dop("da-0", tool="t")
+        first = client.checkin(dop, "Cell", data={"area": 1.0},
+                               parents=[])
+        assert flush_group(rig["clients"]).success
+        durable_first = client.resolve(first.dov.dov_id)
+        second = client.checkin(dop, "Cell", data={"area": 2.0},
+                                parents=[durable_first])
+        assert flush_group(rig["clients"]).success
+        durable_second = client.resolve(second.dov.dov_id)
+        dov = rig["repo"].read(durable_second)
+        assert dov.parents == (durable_first,)
+
+
+class TestCapacityPressurePrefixFlush:
+    def test_pressure_ships_only_the_oldest_prefix(self):
+        rig = make_rig(team=1, capacity=10_000,
+                       pressure_fraction=0.5)
+        client = rig["clients"][0]
+        dop = client.begin_dop("da-0", tool="t")
+        # independent lineages so nothing coalesces; each entry is
+        # ~16 modelled bytes, so four fit comfortably
+        provisionals = []
+        for step in range(4):
+            result = client.checkin(dop, "Cell",
+                                    data={"area": float(step)},
+                                    parents=[])
+            provisionals.append(result.dov.dov_id)
+        assert client.buffer.dirty_count == 4
+        # shrink the capacity below the resident bytes and trigger
+        # pressure with one more checkin
+        client.buffer.capacity_bytes = client.buffer.resident_bytes
+        result = client.checkin(dop, "Cell", data={"area": 99.0},
+                                parents=[])
+        provisionals.append(result.dov.dov_id)
+        # the pressure flush shipped ceil(0.5 * 5) = 3 oldest entries
+        assert client.flushes == 1
+        assert client.flushed_checkins == 3
+        for provisional in provisionals[:3]:
+            assert client.resolve(provisional) in rig["repo"]
+        # the youngest two stayed dirty (still coalescible)
+        assert client.buffer.dirty_count == 2
+        for provisional in provisionals[3:]:
+            assert client.resolve(provisional) not in rig["repo"]
+
+    def test_partial_flush_rewrites_remaining_lineage(self):
+        """A dirty chain split by a partial flush keeps a consistent
+        lineage: the remainder's parents become the durable ids."""
+        rig = make_rig(team=1)
+        client = rig["clients"][0]
+        dop = client.begin_dop("da-0", tool="t")
+        first = client.checkin(dop, "Cell", data={"area": 1.0},
+                               parents=[])
+        dop2 = client.begin_dop("da-0", tool="t")
+        second = client.checkin(dop2, "Cell", data={"area": 2.0},
+                                parents=[])
+        # explicit prefix flush of just the first entry
+        flushed = client.flush(limit=1)
+        assert flushed.success and flushed.count == 1
+        assert client.buffer.dirty_count == 1
+        # now chain a third checkin onto the *flushed* first: its
+        # provisional parent already resolves to a durable id
+        durable_first = client.resolve(first.dov.dov_id)
+        third = client.checkin(dop2, "Cell", data={"area": 3.0},
+                               parents=[durable_first])
+        assert client.flush().success
+        assert rig["repo"].read(
+            client.resolve(third.dov.dov_id)).parents \
+            == (durable_first,)
+        assert client.resolve(second.dov.dov_id) in rig["repo"]

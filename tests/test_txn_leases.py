@@ -1,0 +1,199 @@
+"""TTL renewal leases: expiry as recall, renewal, and the race.
+
+PR-5 acceptance surface of the lease half of the txn layer: with a
+``lease_ttl`` the server stops recalling explicitly-forgotten copies —
+an unrenewed lease simply expires via a kernel timer event and the
+workstation's buffered copy is invalidated exactly as a recall would;
+a renewal is one metadata-only message extending every lease the
+workstation holds; and a renewal racing an in-flight expiry never
+resurrects a dead lease.
+"""
+
+from __future__ import annotations
+
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel
+from repro.te.locks import LockManager
+from repro.te.object_buffer import ObjectBuffer
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.txn import LeaseTable
+from repro.util.ids import IdGenerator
+
+TTL = 10.0
+
+
+def make_rig(ttl: float | None = TTL):
+    """One buffered workstation under a TTL-leasing server, on a
+    kernel (expiry timers are ordinary kernel events)."""
+    clock = SimClock()
+    kernel = Kernel(clock)
+    network = Network(clock, lan_latency=0.5)
+    network.attach_kernel(kernel)
+    network.add_server()
+    network.add_workstation("ws-1")
+    rpc = TransactionalRpc(network)
+    ids = IdGenerator()
+    repo = DesignDataRepository(ids)
+    repo.register_dot(DesignObjectType("Cell", attributes=[
+        AttributeDef("area", AttributeKind.FLOAT, required=False)]))
+    repo.create_graph("da-1")
+    locks = LockManager()
+    server_tm = ServerTM(repo, locks, network, clock=clock,
+                         lease_ttl=ttl)
+    server_tm.scope_check = lambda da_id, dov_id: True
+    register_server_endpoints(rpc, server_tm)
+    buffer = ObjectBuffer("ws-1", policy="lru")
+    client = ClientTM("ws-1", server_tm, rpc, clock, ids,
+                      buffer=buffer)
+    dov0 = repo.checkin("da-1", "Cell", {"area": 100.0})
+    return {"clock": clock, "kernel": kernel, "network": network,
+            "repo": repo, "server_tm": server_tm, "client": client,
+            "buffer": buffer, "dov0": dov0}
+
+
+class TestLeaseTableUnit:
+    def test_ttl_off_means_no_expiry(self):
+        table = LeaseTable(clock=SimClock())
+        table.grant("ws-1", "dov-1")
+        assert table.lease("ws-1", "dov-1").expires_at is None
+        assert table.expire_due() == []
+        assert table.holders("dov-1") == {"ws-1"}
+
+    def test_expire_due_sweep_without_kernel(self):
+        clock = SimClock()
+        table = LeaseTable(clock=clock, ttl=5.0)
+        expired = []
+        table.on_expire = lambda ws, dov: expired.append((ws, dov))
+        table.grant("ws-1", "dov-1")
+        clock.advance(4.9)
+        assert table.expire_due() == []
+        clock.advance(0.2)
+        assert table.expire_due() == [("ws-1", "dov-1")]
+        assert expired == [("ws-1", "dov-1")]
+        assert table.holders("dov-1") == set()
+        assert table.stats()["expirations"] == 1
+
+    def test_renewal_extends_and_never_resurrects(self):
+        clock = SimClock()
+        table = LeaseTable(clock=clock, ttl=5.0)
+        table.grant("ws-1", "dov-1")
+        clock.advance(4.0)
+        assert table.renew("ws-1", "dov-1") is True
+        clock.advance(4.0)  # t=8 < 4+5: still alive
+        assert table.expire_due() == []
+        clock.advance(2.0)  # t=10 > 9: expires now
+        assert table.expire_due() == [("ws-1", "dov-1")]
+        # the lease is dead: renewing it again is a no-op
+        assert table.renew("ws-1", "dov-1") is False
+        assert table.holders("dov-1") == set()
+
+
+class TestTtlExpiryOnKernel:
+    def test_unrenewed_lease_expires_like_a_recall(self):
+        rig = make_rig()
+        client, buffer = rig["client"], rig["buffer"]
+        dop = client.begin_dop("da-1", tool="t")
+        client.checkout(dop, rig["dov0"].dov_id)
+        rig["kernel"].run_until(TTL / 2)  # mid-TTL: lease still live
+        assert rig["dov0"].dov_id in buffer
+        assert rig["server_tm"].lease_holders(rig["dov0"].dov_id) \
+            == {"ws-1"}
+        # idle past the TTL: the expiry event fires, the lease dies,
+        # and the buffered copy is invalidated over the LAN
+        rig["kernel"].run_until_quiescent()
+        assert rig["clock"].now >= TTL
+        assert rig["server_tm"].lease_holders(rig["dov0"].dov_id) \
+            == set()
+        assert rig["dov0"].dov_id not in buffer
+        assert buffer.invalidations == 1
+        assert rig["server_tm"].leases.expirations == 1
+
+    def test_expiry_timer_labels_are_traced(self):
+        rig = make_rig()
+        client = rig["client"]
+        dop = client.begin_dop("da-1", tool="t")
+        client.checkout(dop, rig["dov0"].dov_id)
+        rig["kernel"].run_until_quiescent()
+        labels = [label for _, _, label in rig["kernel"].event_log]
+        assert any(label.startswith("lease-expiry:") for label in labels)
+
+    def test_renewal_message_keeps_the_copy_resident(self):
+        rig = make_rig()
+        client, kernel = rig["client"], rig["kernel"]
+        dop = client.begin_dop("da-1", tool="t")
+        client.checkout(dop, rig["dov0"].dov_id)
+        # renew repeatedly while "using" the buffer; the lease must
+        # survive well past several TTLs
+        for _ in range(4):
+            kernel.run_until(kernel.clock.now + TTL * 0.6)
+            assert client.checkout(dop, rig["dov0"].dov_id) is not None
+        assert rig["server_tm"].leases.renewals > 0
+        assert rig["dov0"].dov_id in rig["buffer"]
+        # once the designer stops, the lease decays by itself
+        kernel.run_until_quiescent()
+        assert rig["dov0"].dov_id not in rig["buffer"]
+
+    def test_renewal_is_metadata_only(self):
+        rig = make_rig()
+        client, network = rig["client"], rig["network"]
+        dop = client.begin_dop("da-1", tool="t")
+        client.checkout(dop, rig["dov0"].dov_id)
+        rig["kernel"].run_until(1.1)  # payload shipped + installed
+        shipped_before = network.bytes_shipped
+        delay = client.renew_leases()
+        rig["kernel"].run_until(2.0)  # renewal delivered, no expiry yet
+        renewal_bytes = network.bytes_shipped - shipped_before
+        assert renewal_bytes == rig["server_tm"].invalidation_bytes
+        assert renewal_bytes < rig["dov0"].payload_size
+        assert delay > 0.0
+        assert rig["server_tm"].leases.renewals == 1
+
+    def test_expiry_racing_a_renewal_in_flight(self):
+        """The satellite race: the renewal message is posted before
+        the expiry instant but delivered after it.  The expiry wins —
+        the lease dies, the copy is invalidated, and the late renewal
+        must NOT resurrect anything."""
+        rig = make_rig()
+        client, kernel = rig["client"], rig["kernel"]
+        server_tm = rig["server_tm"]
+        dov_id = rig["dov0"].dov_id
+        dop = client.begin_dop("da-1", tool="t")
+        client.checkout(dop, dov_id)
+        kernel.run_until(1.1)  # install the copy; lease expires ~11.1
+        expiry_at = server_tm.leases.lease("ws-1", dov_id).expires_at
+        # post the renewal DURING the run, so late that its 0.5 LAN
+        # latency lands the delivery after the expiry instant
+        kernel.at(expiry_at - 0.2, client.renew_leases,
+                  label="late-renewal")
+        kernel.run_until_quiescent()
+        assert server_tm.lease_holders(dov_id) == set()
+        assert dov_id not in rig["buffer"]
+        assert server_tm.leases.expirations == 1
+        # the late renewal extended nothing
+        assert server_tm.leases.renewals == 0
+
+    def test_determinism_two_identical_runs(self):
+        def signature():
+            rig = make_rig()
+            client, kernel = rig["client"], rig["kernel"]
+            dop = client.begin_dop("da-1", tool="t")
+            client.checkout(dop, rig["dov0"].dov_id)
+            for _ in range(3):
+                kernel.run_until(kernel.clock.now + TTL * 0.6)
+                client.checkout(dop, rig["dov0"].dov_id)
+            kernel.run_until_quiescent()
+            return rig["kernel"].trace_signature()
+
+        assert signature() == signature()

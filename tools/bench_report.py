@@ -62,11 +62,16 @@ def render_delta(new: dict[str, Any],
               for row in rows]
     acceptance = new.get("acceptance", {})
     if acceptance:
-        lines.append(
-            f"acceptance: buffer-hit speedup "
-            f"{acceptance.get('buffer_hit_speedup')}x "
-            f">= {acceptance.get('buffer_hit_min_speedup')}x -> "
-            + ("OK" if acceptance.get("ok") else "FAIL"))
+        gates = [f"buffer-hit speedup "
+                 f"{acceptance.get('buffer_hit_speedup')}x "
+                 f">= {acceptance.get('buffer_hit_min_speedup')}x"]
+        if "group_flush_min_speedup" in acceptance:
+            gates.append(
+                f"group-flush speedup "
+                f"{acceptance.get('group_flush_speedup')}x "
+                f">= {acceptance.get('group_flush_min_speedup')}x")
+        lines.append("acceptance: " + ", ".join(gates) + " -> "
+                     + ("OK" if acceptance.get("ok") else "FAIL"))
     return "\n".join(lines)
 
 
