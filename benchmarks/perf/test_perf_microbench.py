@@ -21,6 +21,7 @@ EXPECTED = {
     "group_checkin_flush",
     "cross_workstation_group_commit",
     "kernel_events",
+    "kernel_timer_churn",
     "payload_sizing",
     "scorecard_wall_clock",
 }

@@ -625,8 +625,102 @@ def run_t10(members: int = 3, batches: int = 4,
     return result
 
 
+# ---------------------------------------------------------------------------
+# T11 — kernel saturation: the TTL-lease storm
+# ---------------------------------------------------------------------------
+
+def run_t11(workstations: int = 60, leases_per_ws: int = 1000,
+            renew_rounds: int = 3, renew_fraction: float = 0.5,
+            ttl: float = 40.0) -> ExperimentResult:
+    """Kernel saturation: a workstation fleet's TTL-lease storm.
+
+    The paper's workstation/server split (§2) puts the server-side
+    coherence state — read leases over every checked-out DOV — on the
+    clock: each lease must be renewed or it expires.  This experiment
+    drives the kernel with that load alone, scaled toward the
+    million-lease regime the architecture targets: ``workstations``
+    working sets of ``leases_per_ws`` leases granted in per-station
+    waves, half the fleet renewing its whole set every ``ttl/2`` for
+    ``renew_rounds`` rounds (the metadata-only batch renewal), the
+    other half going silent after the grant.  The run ends at
+    quiescence: every lease has expired.
+
+    Expected shape: every granted lease eventually expires exactly
+    once, renewals never resurrect, and the renewing half of the fleet
+    outlives the silent half by the renewal horizon.  The wall clock
+    and kernel event count are recorded for the perf harness: under
+    bucketed expiry (PR 7) the kernel schedules one event per distinct
+    expiry instant; under the per-``sim.Timer`` baseline it schedules
+    one heap entry per lease plus one re-check event per renewal.
+    """
+    from repro.sim import Kernel, SimClock
+    from repro.txn.leases import LeaseTable
+
+    kernel = Kernel(SimClock(), trace_events=False)
+    table = LeaseTable(kernel.clock, ttl=ttl,
+                       kernel_source=lambda: kernel)
+    expiry_times: dict[str, list[float]] = {"renewing": [],
+                                            "silent": []}
+    renewing = {f"ws-{index:04d}"
+                for index in range(int(workstations * renew_fraction))}
+
+    def classify(workstation: str) -> str:
+        return "renewing" if workstation in renewing else "silent"
+
+    table.on_expire = lambda workstation, __: \
+        expiry_times[classify(workstation)].append(kernel.clock.now)
+
+    def grant_wave(workstation: str) -> None:
+        for index in range(leases_per_ws):
+            table.grant(workstation, f"dov-{workstation}-{index}")
+
+    for index in range(workstations):
+        name = f"ws-{index:04d}"
+        kernel.at(index * 0.01, lambda name=name: grant_wave(name),
+                  label=f"grant-wave:{name}")
+        if name in renewing:
+            for round_no in range(1, renew_rounds + 1):
+                kernel.at(index * 0.01 + round_no * ttl * 0.5,
+                          lambda name=name:
+                          table.renew_workstation(name),
+                          label=f"renew-wave:{name}")
+
+    start = time.perf_counter()
+    kernel.run_until_quiescent(
+        max_events=workstations * leases_per_ws * (renew_rounds + 2)
+        + 10_000)
+    wall = time.perf_counter() - start
+
+    total = workstations * leases_per_ws
+    result = ExperimentResult(
+        "T11", "Kernel saturation: workstation-fleet TTL-lease storm")
+    for mode in ("renewing", "silent"):
+        stations = [f"ws-{index:04d}" for index in range(workstations)
+                    if classify(f"ws-{index:04d}") == mode]
+        times = expiry_times[mode]
+        result.add(mode=mode, workstations=len(stations),
+                   leases=len(stations) * leases_per_ws,
+                   expirations=len(times),
+                   mean_expiry_t=round(sum(times) / len(times), 1)
+                   if times else 0.0)
+    stats = table.stats()
+    result.data.update(
+        leases=total, live_after=stats["live"],
+        grants=stats["grants"], renewals=stats["renewals"],
+        expirations=stats["expirations"], strategy=stats["strategy"],
+        kernel_events=kernel.executed, wall_seconds=round(wall, 3),
+        events_per_sec=round(kernel.executed / wall) if wall else 0)
+    result.notes.append(
+        "expected shape: every lease expires exactly once; the "
+        "renewing fleet half outlives the silent half by the renewal "
+        "horizon; kernel events stay proportional to distinct expiry "
+        "instants under bucketed expiry (vs one heap entry per lease "
+        "plus re-checks under the per-timer baseline)")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "T1": run_t1, "T2": run_t2, "T3": run_t3,
     "T4": run_t4, "T5": run_t5, "T6": run_t6, "T7": run_t7,
-    "T8": run_t8, "T9": run_t9, "T10": run_t10,
+    "T8": run_t8, "T9": run_t9, "T10": run_t10, "T11": run_t11,
 }

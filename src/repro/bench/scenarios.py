@@ -27,6 +27,7 @@ from repro.repository.schema import (
 )
 from repro.sim.clock import SimClock
 from repro.sim.kernel import Kernel
+from repro.sim.shard import ShardedKernel
 from repro.te.context import DopContext
 from repro.te.locks import LockManager
 from repro.te.object_buffer import ObjectBuffer
@@ -49,12 +50,13 @@ def make_vlsi_system(workstations: tuple[str, ...] = ("ws-1",),
                      trace: bool = True,
                      recovery_interval: float = 30.0,
                      jitter: float = 0.0,
-                     seed: int = 0) -> ConcordSystem:
+                     seed: int = 0,
+                     shards: int = 1) -> ConcordSystem:
     """A CONCORD installation with the VLSI domain installed."""
     system = ConcordSystem(
         trace=trace,
         recovery_policy=RecoveryPointPolicy(interval=recovery_interval),
-        jitter=jitter, seed=seed)
+        jitter=jitter, seed=seed, shards=shards)
     for name in workstations:
         system.add_workstation(name)
     register_vlsi_tools(system.tools)
@@ -277,7 +279,8 @@ def concurrent_delegation_scenario(
         crash: tuple[str, float, float] | None = None,
         jitter: float = 0.0,
         seed: int = 0,
-        trace: bool = False) -> tuple[ConcordSystem, ConcurrentReport]:
+        trace: bool = False,
+        shards: int = 1) -> tuple[ConcordSystem, ConcurrentReport]:
     """Delegated subcell planning with every sub-DA live at once.
 
     The top-level DA plans cell 0, then delegates one sub-DA per
@@ -294,7 +297,7 @@ def concurrent_delegation_scenario(
 
     stations = ("ws-0",) + tuple(f"ws-{cell}" for cell in subcells)
     system = make_vlsi_system(stations, trace=trace, jitter=jitter,
-                              seed=seed)
+                              seed=seed, shards=shards)
     report = ConcurrentReport()
     dots = vlsi_dots()
 
@@ -405,7 +408,8 @@ def object_buffer_scenario(team: int = 3,
                            payload_bytes: int = 4000,
                            bandwidth: float = 400.0,
                            lan_latency: float = 0.05,
-                           jitter: float = 0.0) -> ShippingReport:
+                           jitter: float = 0.0,
+                           shards: int = 1) -> ShippingReport:
     """A designer team exercising the data-shipping path end to end.
 
     Runs the *implemented* TE protocol — client-TMs, server-TM,
@@ -426,11 +430,13 @@ def object_buffer_scenario(team: int = 3,
     — T8 measures data shipping, not visibility policies (that is T1).
     """
     clock = SimClock()
-    kernel = Kernel(clock)
+    kernel = ShardedKernel(clock, shards=shards) if shards > 1 \
+        else Kernel(clock)
     network = Network(clock, lan_latency=lan_latency, jitter=jitter,
                       seed=seed, bandwidth=bandwidth)
     network.attach_kernel(kernel)
     network.add_server()
+    kernel.assign_shard("server", 0)
     repository = DesignDataRepository()
     locks = LockManager()
     server_tm = ServerTM(repository, locks, network, clock=clock)
@@ -521,6 +527,7 @@ def object_buffer_scenario(team: int = 3,
     for index, spec in enumerate(workload.sessions):
         workstation = f"ws-{index}"
         network.add_workstation(workstation)
+        kernel.assign_shard(workstation, (1 + index) % max(shards, 1))
         buffer = ObjectBuffer(workstation) if caching else None
         client = ClientTM(workstation, server_tm, rpc, clock, ids=ids,
                           buffer=buffer)
@@ -600,7 +607,8 @@ def write_back_scenario(team: int = 3,
                         lan_latency: float = 0.05,
                         jitter: float = 0.0,
                         flush_interval: int = 0,
-                        restart: bool = True) -> WriteBackReport:
+                        restart: bool = True,
+                        shards: int = 1) -> WriteBackReport:
     """A designer team exercising write-back vs write-through checkins.
 
     Both modes run the implemented TE protocol with object buffers on;
@@ -625,11 +633,13 @@ def write_back_scenario(team: int = 3,
     stays 0 when every re-read hits the re-validated buffer).
     """
     clock = SimClock()
-    kernel = Kernel(clock)
+    kernel = ShardedKernel(clock, shards=shards) if shards > 1 \
+        else Kernel(clock)
     network = Network(clock, lan_latency=lan_latency, jitter=jitter,
                       seed=seed, bandwidth=bandwidth)
     network.attach_kernel(kernel)
     server = network.add_server()
+    kernel.assign_shard(server.node_id, 0)
     repository = DesignDataRepository()
     # repository recovery registers BEFORE the server-TM's restart
     # hook so stamps are fresh when the buffers re-validate
@@ -737,6 +747,7 @@ def write_back_scenario(team: int = 3,
     for index, spec in enumerate(workload.sessions):
         workstation = f"ws-{index}"
         network.add_workstation(workstation)
+        kernel.assign_shard(workstation, (1 + index) % max(shards, 1))
         buffer = ObjectBuffer(workstation, policy="lru")
         client = ClientTM(
             workstation, server_tm, rpc, clock, ids=ids,

@@ -334,8 +334,13 @@ class Network:
         delay = self.delivery_delay(src, dst, size)
         self.total_latency += delay
         assert self.kernel is not None
-        self.kernel.after(delay, lambda: self._deliver(dst, deliver, label),
-                          label=label)
+        # route on the *destination* node's shard (the cross-shard
+        # merge queue of a ShardedKernel; a plain defer on the base
+        # kernel) — fire-and-forget, so the event is slab-recycled
+        kernel = self.kernel
+        kernel.defer_to(kernel.shard_of(dst), delay,
+                        lambda: self._deliver(dst, deliver, label),
+                        label=label)
         return delay
 
     def post_batch(self, src: str, dst: str, deliver: Callable[[], None],
@@ -381,9 +386,11 @@ class Network:
         for label, deliver in self._parked.pop(node_id, []):
             if self.async_active:
                 assert self.kernel is not None
-                self.kernel.after(0.0, lambda d=deliver, n=node_id,
-                                  la=label: self._deliver(n, d, la),
-                                  label=f"flush:{label}")
+                kernel = self.kernel
+                kernel.defer_to(kernel.shard_of(node_id), 0.0,
+                                lambda d=deliver, n=node_id,
+                                la=label: self._deliver(n, d, la),
+                                label=f"flush:{label}")
             else:
                 self.messages_delivered += 1
                 deliver()

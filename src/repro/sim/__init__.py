@@ -3,8 +3,10 @@
 from repro.sim.clock import SimClock
 from repro.sim.failures import FailureEvent, FailureKind, FailurePlan
 from repro.sim.injector import FailureInjector, InjectionLogEntry
-from repro.sim.kernel import Kernel
-from repro.sim.scheduler import EventScheduler
+from repro.sim.kernel import Kernel, Timer
+from repro.sim.scheduler import EventScheduler, kernel_fast_path
+from repro.sim.shard import ShardedKernel
+from repro.sim.wheel import HierarchicalTimerWheel
 
 __all__ = [
     "EventScheduler",
@@ -12,7 +14,11 @@ __all__ = [
     "FailureInjector",
     "FailureKind",
     "FailurePlan",
+    "HierarchicalTimerWheel",
     "InjectionLogEntry",
     "Kernel",
+    "ShardedKernel",
     "SimClock",
+    "Timer",
+    "kernel_fast_path",
 ]

@@ -84,7 +84,9 @@ class Timer:
         self._armed = True
         epoch = self._epoch
         delay = max(self.deadline - self.kernel.clock.now, 0.0)
-        self.kernel.after(delay, lambda: self._fire(epoch),
+        # fire-and-forget: the epoch stamp is the cancellation token,
+        # so the timer never needs the event handle — slab fast path
+        self.kernel.defer(delay, lambda: self._fire(epoch),
                           label=self.label)
 
     def _fire(self, epoch: int) -> None:
@@ -104,11 +106,13 @@ class Kernel(EventScheduler):
     """The single execution kernel shared by all layers of one world."""
 
     def __init__(self, clock: SimClock | None = None,
-                 trace_events: bool = True) -> None:
-        super().__init__(clock)
+                 trace_events: bool = True,
+                 wheel: bool | None = None,
+                 wheel_tick: float | None = None) -> None:
+        super().__init__(clock, wheel=wheel, wheel_tick=wheel_tick)
         #: True while the kernel is inside :meth:`step` / ``run``
         self.running = False
-        self.trace_events = trace_events
+        self.trace_events = trace_events  # property: binds dispatch
         #: executed events as ``(time, seq, label)`` — determinism guard
         self.event_log: list[tuple[float, int, str]] = []
         #: enacted crash/restart events (kernel-native failure log)
@@ -116,12 +120,39 @@ class Kernel(EventScheduler):
 
     # -- execution ----------------------------------------------------------
 
+    @property
+    def trace_events(self) -> bool:
+        """True while dispatch records into :attr:`event_log`."""
+        return self._trace_events
+
+    @trace_events.setter
+    def trace_events(self, value: bool) -> None:
+        self._trace_events = bool(value)
+        if value:
+            # traced dispatch: the class-level :meth:`_execute`
+            self.__dict__.pop("_execute", None)
+        else:
+            # untraced: shadow dispatch with the base pass-through —
+            # the scheduler hot loop recognises it and calls the
+            # event's action without any per-event indirection
+            self._execute = EventScheduler._execute.__get__(self)
+
     def step(self) -> bool:
         """Run the next event with the :attr:`running` flag set."""
         was_running = self.running
         self.running = True
         try:
             return super().step()
+        finally:
+            self.running = was_running
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> int:
+        """Run with the :attr:`running` flag set for the whole batch."""
+        was_running = self.running
+        self.running = True
+        try:
+            return super().run(until, max_events)
         finally:
             self.running = was_running
 
@@ -156,6 +187,27 @@ class Kernel(EventScheduler):
     def quiescent(self) -> bool:
         """True when no (uncancelled) event is pending."""
         return self.pending == 0
+
+    # -- sharding (the base kernel is one shard) ----------------------------
+
+    def shard_of(self, node_id: str) -> int:
+        """Shard owning *node_id* — always 0 on the base kernel."""
+        return 0
+
+    def assign_shard(self, node_id: str, shard: int) -> None:
+        """Pin *node_id* to a shard (no-op on the base kernel)."""
+
+    def defer_to(self, shard: int, delay: float,
+                 action: Callable[[], Any], label: str = "",
+                 priority: int = 0) -> None:
+        """Shard-routed :meth:`defer` — plain defer on the base kernel.
+
+        :class:`~repro.sim.shard.ShardedKernel` overrides this to file
+        the event on *shard*'s stream; callers (the network transport)
+        can therefore route cross-shard sends without caring which
+        kernel flavour is underneath.
+        """
+        self.defer(delay, action, label, priority)
 
     # -- failure injection --------------------------------------------------
 

@@ -169,6 +169,9 @@ class ServerTM:
         self._buffers: dict[str, ObjectBuffer] = {}
         #: invalidation messages scheduled over the LAN
         self.invalidations_sent = 0
+        #: renewals that rode along on checkout/checkin control
+        #: messages instead of a dedicated renewal message
+        self.renewals_piggybacked = 0
         #: modelled size of one lease-invalidation control message
         self.invalidation_bytes = 16
         #: group checkins committed (each one batched 2PC run)
@@ -211,7 +214,8 @@ class ServerTM:
     def checkout(self, da_id: str, dop_id: str, dov_id: str,
                  derivation_lock: bool = False,
                  workstation: str | None = None,
-                 lease: bool = False) -> DesignObjectVersion:
+                 lease: bool = False,
+                 renew: bool = False) -> DesignObjectVersion:
         """Scope-checked read of a DOV with optional derivation lock.
 
         Implements Sect.5.2's checkout: "it has to be tested that,
@@ -246,6 +250,11 @@ class ServerTM:
                 self.locks.acquire(dov_id, da_id, LockMode.DERIVATION)
         finally:
             self.locks.release(dov_id, dop_id, LockMode.SHORT_READ)
+        if renew and workstation is not None:
+            # renewal metadata folded onto this control message — the
+            # workstation's whole lease set extends without a
+            # dedicated renewal message on the LAN
+            self._piggyback_renewal(workstation)
         if lease and workstation is not None:
             self.leases.grant(workstation, dov_id)
         self._record("checkout", dov_id, da=da_id, dop=dop_id,
@@ -433,7 +442,8 @@ class ServerTM:
     def request_checkin(self, txn_id: str, da_id: str, dot_name: str,
                         data: dict[str, Any], parents: list[str],
                         workstation: str | None = None,
-                        lease: bool = False) -> None:
+                        lease: bool = False,
+                        renew: bool = False) -> None:
         """Stash a checkin request before the coordinator runs 2PC.
 
         The modification of a DA's derivation graph during checkin is
@@ -444,6 +454,8 @@ class ServerTM:
         """
         node = self.network.node(self.node_id)
         node.require_up()
+        if renew and workstation is not None:
+            self._piggyback_renewal(workstation)
         node.volatile[f"checkin-req:{txn_id}"] = {
             "da_id": da_id,
             "dot_name": dot_name,
@@ -457,7 +469,8 @@ class ServerTM:
     def request_group_checkin(self, txn_id: str,
                               records: list[dict[str, Any]],
                               workstation: str | None = None,
-                              lease: bool = False) -> int:
+                              lease: bool = False,
+                              renew: bool = False) -> int:
         """Stash a batched (write-back) checkin before the 2PC runs.
 
         *records* carry the deferred checkin requests in the
@@ -470,6 +483,8 @@ class ServerTM:
         """
         node = self.network.node(self.node_id)
         node.require_up()
+        if renew and workstation is not None:
+            self._piggyback_renewal(workstation)
         node.volatile[f"group-checkin-req:{txn_id}"] = {
             "records": [dict(record) for record in records],
             "workstation": workstation,
@@ -551,6 +566,20 @@ class ServerTM:
     def clear_leases(self) -> None:
         """Server crash: the (volatile) lease table vanishes."""
         self.leases.clear()
+
+    def _piggyback_renewal(self, workstation: str) -> int:
+        """Renewal metadata carried by an in-flight control message.
+
+        Same lease-table effect as :meth:`renew_leases`, zero extra
+        LAN traffic — the fallback dedicated renewal message is only
+        needed when no checkout/checkin is in flight to carry it.
+        """
+        renewed = self.leases.renew_workstation(workstation)
+        if renewed:
+            self.renewals_piggybacked += 1
+            self._record("leases_renewed_piggyback", workstation,
+                         count=renewed)
+        return renewed
 
     def renew_leases(self, workstation: str) -> int:
         """Handle a workstation's metadata-only renewal message.
@@ -763,6 +792,8 @@ class ClientTM:
         #: simulated instant of the last lease-renewal message (TTL
         #: leases only; renewals are rate-limited to ttl/2)
         self._last_renewal: float | None = None
+        #: renewals this client folded onto outgoing control messages
+        self.renewals_piggybacked = 0
         node = rpc.network.node(workstation)
         self.node = node
         self.recovery = RecoveryManager(node.stable, policy)
@@ -865,7 +896,8 @@ class ClientTM:
             self.workstation, self.server_tm.node_id, "checkout",
             dop.da_id, dop.dop_id, dov_id, derivation_lock,
             workstation=self.workstation,
-            lease=self.buffer is not None)
+            lease=self.buffer is not None,
+            renew=self._consume_renewal_window())
         dov: DesignObjectVersion = result.value
         self._ship_payload(dov, dop.da_id)
         self._install_checkout(dop, dov, dov_id, cached=False)
@@ -918,6 +950,29 @@ class ClientTM:
             return
         self._last_renewal = now
         self.renew_leases()
+
+    def _consume_renewal_window(self) -> bool:
+        """True when an outgoing control message should carry renewal
+        metadata (the piggyback path).
+
+        Same ttl/2 window as :meth:`_maybe_renew_leases`, and claiming
+        it stamps the window — so a buffer hit right after a
+        piggybacked renewal does NOT also send the dedicated message.
+        The dedicated message stays the fallback for workstations that
+        only hit their buffer (no control message in flight to ride).
+        """
+        ttl = getattr(self.server_tm, "lease_ttl", None)
+        if ttl is None or self.buffer is None:
+            return False
+        now = self.clock.now
+        if self._last_renewal is None:
+            self._last_renewal = now
+            return False
+        if now - self._last_renewal < ttl / 2:
+            return False
+        self._last_renewal = now
+        self.renewals_piggybacked += 1
+        return True
 
     def renew_leases(self) -> float:
         """Send one metadata-only renewal message for ALL held leases.
@@ -1043,7 +1098,8 @@ class ClientTM:
                                             lineage)
         result = self.gateway.single_checkin(
             dop.da_id, dot_name, payload, lineage,
-            lease=self.buffer is not None)
+            lease=self.buffer is not None,
+            renew=self._consume_renewal_window())
         if result.committed:
             dov = result.dov
             dop.output_dov = dov.dov_id
@@ -1211,7 +1267,7 @@ class ClientTM:
             records, sizes = self.collect_flush_records(limit)
             result = self.gateway.group_checkin(
                 [GroupRequest(self.workstation, records, sizes)],
-                lease=True)
+                lease=True, renew=self._consume_renewal_window())
             if not result.committed:
                 self.fail_flush(records, result.reason)
                 return FlushResult(False, count=len(records),

@@ -127,13 +127,20 @@ class CommitGateway:
 
     def single_checkin(self, da_id: str, dot_name: str,
                        payload: dict[str, Any], lineage: list[str],
-                       lease: bool = False) -> SingleCommitResult:
-        """One write-through checkin: control RPC, sized upload, 2PC."""
+                       lease: bool = False,
+                       renew: bool = False) -> SingleCommitResult:
+        """One write-through checkin: control RPC, sized upload, 2PC.
+
+        With ``renew=True`` the control RPC carries the coordinator
+        workstation's lease-renewal metadata (piggybacked — no
+        dedicated renewal message).
+        """
         txn_id = self.next_txn_id()
         server = self.server_tm
         self.rpc.call(self.node_id, server.node_id, "request_checkin",
                       txn_id, da_id, dot_name, payload, lineage,
-                      workstation=self.node_id, lease=lease)
+                      workstation=self.node_id, lease=lease,
+                      renew=renew)
         # the derived data ships workstation -> server (the checkin
         # direction of the data-shipping path; the RPC is control)
         self.rpc.network.post(
@@ -151,7 +158,8 @@ class CommitGateway:
     # -- group checkin (per-workstation and cross-workstation) --------------
 
     def group_checkin(self, requests: Sequence[GroupRequest],
-                      lease: bool = True) -> GroupCommitResult:
+                      lease: bool = True,
+                      renew: bool = False) -> GroupCommitResult:
         """Commit one or several workstations' batches as ONE decision.
 
         One control RPC carries the combined record list; each
@@ -177,7 +185,8 @@ class CommitGateway:
                        for record in request.records]
         self.rpc.call(self.node_id, server.node_id,
                       "request_group_checkin", txn_id, records,
-                      workstation=self.node_id, lease=lease)
+                      workstation=self.node_id, lease=lease,
+                      renew=renew)
         for request in requests:
             # one sized batch message per contributing workstation
             self.rpc.network.post_batch(

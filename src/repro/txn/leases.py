@@ -18,19 +18,50 @@ table by the *active* working set instead of everything ever shipped.
 :class:`LeaseTable` implements both regimes behind one surface:
 ``ttl=None`` (the default) reproduces the recall-only behaviour —
 leases never expire, nothing is scheduled — while a numeric ``ttl``
-arms one expiry-check timer per grant on the attached kernel.
-Renewals never resurrect: extending a lease that already expired (or
-was recalled) is a no-op, which is what makes a renewal racing an
+arms **bucketed** expiry checks on the attached kernel: every lease
+expiring at the same instant shares ONE kernel event (label
+``lease-expiry:...``), so a server holding 10^6 leases granted across
+k distinct instants keeps k pending events, not 10^6.  Renewals and
+releases are *lazy*: they only move the lease's bookkeeping — the old
+bucket discovers the move when it fires and re-files (or skips) the
+lease, so no kernel event is ever cancelled or rescheduled.  Renewals
+never resurrect: extending a lease that already expired (or was
+recalled) is a no-op, which is what makes a renewal racing an
 in-flight expiry safe.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from math import ceil
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.sim.clock import SimClock
 from repro.sim.kernel import Timer
+
+#: slack when comparing expiry instants against the clock
+_EPS = 1e-12
+
+#: module switch: True = bucketed expiry (one kernel event per distinct
+#: expiry instant), False = the pre-wheel regime of one re-armable
+#: :class:`~repro.sim.kernel.Timer` per lease.  The legacy regime is
+#: kept as the measured baseline of the ``kernel_timer_churn`` perf
+#: contrast — captured per :class:`LeaseTable` at construction.
+_FAST_PATH = True
+
+
+@contextmanager
+def lease_fast_path(enabled: bool = True) -> Iterator[None]:
+    """Context manager selecting the lease-expiry strategy for tables
+    constructed inside the block (benchmark baselines)."""
+    global _FAST_PATH
+    previous = _FAST_PATH
+    _FAST_PATH = enabled
+    try:
+        yield
+    finally:
+        _FAST_PATH = previous
 
 
 @dataclass
@@ -42,29 +73,39 @@ class Lease:
     granted_at: float
     #: simulated expiry instant; None = no TTL (explicit recall only)
     expires_at: float | None
+    #: expiry-bucket instant this lease is currently filed under
+    #: (internal; None = not filed)
+    bucket: float | None = None
 
 
 class LeaseTable:
     """The server's lease table: grants, renewals, recalls, expiry.
 
     All mutators are synchronous bookkeeping; the only kernel activity
-    is the expiry-check timer a TTL grant arms (label
-    ``lease-expiry:<dov>@<ws>``), and :attr:`on_expire` is where the
-    server-TM hangs the recall-equivalent invalidation message.  A
-    renewal while a check is armed does not schedule a second event —
-    the armed check re-arms itself at the extended expiry, so the
-    number of timer events stays bounded by the number of renewals.
+    is one expiry-check event per *distinct expiry instant* (label
+    ``lease-expiry:<dov>@<ws>`` after the lease that armed it).  When
+    the event fires, every lease still filed under that instant is
+    settled: expired ones are released (firing :attr:`on_expire`,
+    where the server-TM hangs the recall-equivalent invalidation),
+    renewed ones are re-filed under their extended instant, and
+    released ones are simply skipped — lazy cancellation, no bucket
+    surgery.  ``expiry_granularity`` optionally coarsens the bucket
+    instants (expiry then fires up to one granule late), trading
+    expiry precision for even fewer kernel events.
     """
 
     def __init__(self, clock: SimClock | None = None,
                  ttl: float | None = None,
-                 kernel_source: Callable[[], Any] | None = None) -> None:
+                 kernel_source: Callable[[], Any] | None = None,
+                 expiry_granularity: float | None = None) -> None:
         self.clock = clock or SimClock()
         #: lease time-to-live (None = leases never expire)
         self.ttl = ttl
         #: zero-arg callable yielding the kernel to arm expiry checks
         #: on (resolved lazily — networks attach their kernel late)
         self._kernel_source = kernel_source
+        #: bucket quantum (None/0 = exact per-instant buckets)
+        self.expiry_granularity = expiry_granularity
         #: dov_id -> workstation -> lease
         self._holders: dict[str, dict[str, Lease]] = {}
         #: fired with (workstation, dov_id) when a lease expires —
@@ -73,7 +114,16 @@ class LeaseTable:
         self.grants = 0
         self.renewals = 0
         self.expirations = 0
-        #: one re-armable expiry timer per (workstation, dov_id)
+        #: expiry instant -> leases filed under it (lazily maintained)
+        self._buckets: dict[float, list[Lease]] = {}
+        #: generation stamp: a server crash (clear) bumps it, so
+        #: already-scheduled bucket events of the dead table are inert
+        self._epoch = 0
+        #: expiry strategy captured at construction (see
+        #: :func:`lease_fast_path`); False = one Timer per lease
+        self._bucketed = _FAST_PATH
+        #: legacy regime only: one re-armable expiry timer per
+        #: (workstation, dov_id)
         self._timers: dict[tuple[str, str], Timer] = {}
 
     # -- grants -------------------------------------------------------------
@@ -96,12 +146,75 @@ class LeaseTable:
             lease = Lease(workstation, dov_id, now, expires)
             holders[workstation] = lease
             self.grants += 1
-        self._arm(lease)
+        self._file(lease)
         return lease
 
-    def _arm(self, lease: Lease) -> None:
+    def _quantize(self, instant: float) -> float:
+        granule = self.expiry_granularity
+        if granule:
+            return ceil(instant / granule) * granule
+        return instant
+
+    def _file(self, lease: Lease) -> None:
+        """File *lease* under its expiry instant's bucket.
+
+        One kernel event is scheduled per *new* bucket; same-instant
+        leases share it.  Re-filing under the bucket the lease already
+        occupies is a no-op (a refresh without a TTL change).
+        """
         if lease.expires_at is None:
             return
+        if not self._bucketed:
+            self._arm(lease)
+            return
+        instant = self._quantize(lease.expires_at)
+        if lease.bucket == instant:
+            return
+        lease.bucket = instant
+        bucket = self._buckets.get(instant)
+        if bucket is not None:
+            bucket.append(lease)
+            return
+        kernel = self._kernel()
+        if kernel is None:
+            lease.bucket = None
+            return  # no kernel: expiry via expire_due() sweeps
+        self._buckets[instant] = [lease]
+        epoch = self._epoch
+        kernel.defer(max(instant - self.clock.now, 0.0),
+                     lambda: self._on_bucket(instant, epoch),
+                     label=f"lease-expiry:{lease.dov_id}"
+                           f"@{lease.workstation}")
+
+    def _on_bucket(self, instant: float, epoch: int) -> None:
+        """Settle every lease filed under *instant* (the bucket event).
+
+        Expired leases are released; renewed ones re-filed under their
+        extended instant; moved/released ones skipped.
+        """
+        if epoch != self._epoch:
+            return  # the table this bucket belonged to was cleared
+        now = self.clock.now
+        for lease in self._buckets.pop(instant, ()):
+            if lease.bucket != instant:
+                continue  # moved to a later bucket meanwhile
+            current = self._holders.get(lease.dov_id, {}) \
+                .get(lease.workstation)
+            if current is not lease or lease.expires_at is None:
+                continue  # released/recalled, or TTL switched off
+            lease.bucket = None
+            if lease.expires_at > now + _EPS:
+                self._file(lease)  # renewed: check again later
+            else:
+                self._expire(lease)
+
+    def _arm(self, lease: Lease) -> None:
+        """Legacy (pre-wheel) expiry: one re-armable Timer per lease.
+
+        Kept as the measured baseline of the ``kernel_timer_churn``
+        benchmark — every live lease is one heap entry, every renewal
+        eventually costs a no-op check event.
+        """
         key = (lease.workstation, lease.dov_id)
         timer = self._timers.get(key)
         if timer is None:
@@ -119,7 +232,7 @@ class LeaseTable:
         lease = self._holders.get(dov_id, {}).get(workstation)
         if lease is None or lease.expires_at is None:
             return  # recalled/released meanwhile, or TTL switched off
-        if lease.expires_at > self.clock.now + 1e-12:
+        if lease.expires_at > self.clock.now + _EPS:
             self._arm(lease)  # renewed at the timer instant itself
             return
         self._expire(lease)
@@ -141,7 +254,7 @@ class LeaseTable:
         due = [lease for holders in self._holders.values()
                for lease in holders.values()
                if lease.expires_at is not None
-               and lease.expires_at <= now + 1e-12]
+               and lease.expires_at <= now + _EPS]
         for lease in due:
             self._expire(lease)
         return [(lease.workstation, lease.dov_id) for lease in due]
@@ -150,7 +263,11 @@ class LeaseTable:
 
     def renew(self, workstation: str, dov_id: str) -> bool:
         """Extend one lease by a fresh TTL; False when it no longer
-        exists (a renewal never resurrects an expired lease)."""
+        exists (a renewal never resurrects an expired lease).
+
+        Lazy re-bucketing: only the expiry instant moves — the armed
+        bucket event discovers the extension when it fires.
+        """
         lease = self._holders.get(dov_id, {}).get(workstation)
         if lease is None:
             return False
@@ -185,16 +302,17 @@ class LeaseTable:
     # -- recall / release ---------------------------------------------------
 
     def release(self, workstation: str, dov_id: str) -> bool:
-        """Drop one lease (recall, eviction, expiry); True when held."""
+        """Drop one lease (recall, eviction, expiry); True when held.
+
+        Lazy: the lease's bucket entry stays behind and is skipped
+        when the bucket event fires — O(1), no event cancellation.
+        """
         holders = self._holders.get(dov_id)
         if not holders or workstation not in holders:
             return False
         del holders[workstation]
         if not holders:
             del self._holders[dov_id]
-        timer = self._timers.pop((workstation, dov_id), None)
-        if timer is not None:
-            timer.cancel()
         return True
 
     def release_all(self, dov_id: str) -> list[str]:
@@ -213,8 +331,14 @@ class LeaseTable:
         return dropped
 
     def clear(self) -> None:
-        """Server crash: the (volatile) lease table vanishes."""
+        """Server crash: the (volatile) lease table vanishes.
+
+        The epoch bump makes every already-scheduled bucket event of
+        the dead table inert — it fires, sees a stale epoch, returns.
+        """
         self._holders.clear()
+        self._buckets.clear()
+        self._epoch += 1
         for timer in self._timers.values():
             timer.cancel()
         self._timers.clear()
@@ -239,4 +363,6 @@ class LeaseTable:
             "grants": self.grants,
             "renewals": self.renewals,
             "expirations": self.expirations,
+            "expiry_buckets": len(self._buckets),
+            "strategy": "bucketed" if self._bucketed else "timer",
         }

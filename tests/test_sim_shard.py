@@ -1,0 +1,119 @@
+"""Sharded deterministic event loop: merge order, routing, and the
+shards>1 state-equivalence contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel
+from repro.sim.shard import ShardedKernel
+
+
+class TestMergeOrder:
+    def test_shard1_traces_like_the_plain_kernel(self):
+        """N=1 is the compat mode: same events, same trace, byte for
+        byte."""
+        def storm(kernel):
+            for index in range(50):
+                kernel.defer((index * 7) % 13 + index * 0.1,
+                             lambda: None, label=f"evt-{index}")
+            kernel.run()
+            return kernel.trace_signature()
+
+        assert storm(ShardedKernel(SimClock(), shards=1)) \
+            == storm(Kernel(SimClock()))
+
+    def test_lowest_timestamp_merge_across_shards(self):
+        """Events interleave across streams in exact global
+        (time, priority, seq) order."""
+        kernel = ShardedKernel(SimClock(), shards=3,
+                               trace_events=False)
+        seen: list[tuple[float, int]] = []
+        for index in range(30):
+            shard = index % 3
+            time = (index * 11) % 17 + 0.5
+            kernel.defer_to(shard, time,
+                            lambda t=time, s=shard:
+                            seen.append((t, s)),
+                            label="evt")
+        kernel.run()
+        assert [t for t, _ in seen] == sorted(t for t, _ in seen)
+        assert {s for _, s in seen} == {0, 1, 2}
+
+    def test_same_instant_ties_resolve_by_seq_globally(self):
+        kernel = ShardedKernel(SimClock(), shards=2,
+                               trace_events=False)
+        seen: list[int] = []
+        for index in range(10):
+            kernel.defer_to(index % 2, 1.0,
+                            lambda i=index: seen.append(i))
+        kernel.run()
+        assert seen == list(range(10))
+
+
+class TestRouting:
+    def test_placement_is_stable_and_pinnable(self):
+        kernel = ShardedKernel(SimClock(), shards=4)
+        auto = kernel.shard_of("ws-A")
+        assert kernel.shard_of("ws-A") == auto  # crc32: stable
+        kernel.assign_shard("ws-A", 3)
+        assert kernel.shard_of("ws-A") == 3
+        with pytest.raises(ValueError):
+            kernel.assign_shard("ws-A", 4)
+
+    def test_cross_vs_local_traffic_accounting(self):
+        kernel = ShardedKernel(SimClock(), shards=2,
+                               trace_events=False)
+        kernel.defer_to(0, 1.0, lambda: None)  # from shard 0: local
+        kernel.defer_to(1, 1.0, lambda: None)  # crosses
+        stats = kernel.shard_stats()
+        assert stats["local_messages"] == 1
+        assert stats["cross_shard_messages"] == 1
+        assert stats["cross_shard_ratio"] == 0.5
+        kernel.run()
+
+    def test_cascades_stay_shard_local(self):
+        """An event scheduled while shard S executes lands on S —
+        local work never silently migrates."""
+        kernel = ShardedKernel(SimClock(), shards=2,
+                               trace_events=False)
+        depths: list[list[int]] = []
+
+        def parent():
+            kernel.defer(1.0, lambda: None)
+            depths.append(list(
+                kernel.shard_stats()["stream_depths"]))
+
+        kernel.defer_to(1, 1.0, parent)
+        kernel.run()
+        assert depths == [[0, 1]]  # the child landed on shard 1
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            ShardedKernel(SimClock(), shards=0)
+
+
+class TestScenarioEquivalence:
+    def test_t7_reports_identical_under_shards2(self):
+        from dataclasses import asdict
+
+        from repro.bench.scenarios import (
+            concurrent_delegation_scenario,
+        )
+
+        __, single = concurrent_delegation_scenario(("A", "B"))
+        __, sharded = concurrent_delegation_scenario(("A", "B"),
+                                                     shards=2)
+        assert asdict(single) == asdict(sharded)
+
+    def test_shards2_smoke_runs_cross_shard_traffic(self):
+        from repro.bench.scenarios import (
+            concurrent_delegation_scenario,
+        )
+
+        system, __ = concurrent_delegation_scenario(("A", "B"),
+                                                    shards=2)
+        stats = system.kernel.shard_stats()
+        assert stats["shards"] == 2
+        assert stats["cross_shard_messages"] > 0

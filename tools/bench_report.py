@@ -9,7 +9,8 @@ perf trajectory::
     python tools/bench_report.py NEW.json OLD.json          # delta view
 
 Informative only: the exit code is 0 unless a file is missing or
-malformed (the CI perf job is non-blocking by design — see
+malformed.  The CI perf job gates on the artifact's ``acceptance.ok``
+in a separate step — this tool just renders the numbers (see
 ``docs/performance.md``).
 """
 
@@ -42,7 +43,8 @@ def render_delta(new: dict[str, Any],
     rows: list[list[str]] = []
     old_benches = (old or {}).get("benchmarks", {})
     for name, bench in new["benchmarks"].items():
-        speedup = bench.get("speedup_vs_deepcopy_baseline")
+        speedup = bench.get("speedup_vs_baseline",
+                            bench.get("speedup_vs_deepcopy_baseline"))
         row = [name, _fmt_ops(bench.get("ops_per_sec")),
                f"{speedup:.2f}x" if speedup else "-"]
         if old is not None:
@@ -70,6 +72,23 @@ def render_delta(new: dict[str, Any],
                 f"group-flush speedup "
                 f"{acceptance.get('group_flush_speedup')}x "
                 f">= {acceptance.get('group_flush_min_speedup')}x")
+        if acceptance.get("perf_gates_applied"):
+            gates.append(
+                f"kernel-events "
+                f"{acceptance.get('kernel_events_ops_per_sec'):,.0f}/s "
+                f">= {acceptance.get('kernel_events_min_ops_per_sec'):,}/s")
+            gates.append(
+                f"timer-churn speedup "
+                f"{acceptance.get('timer_churn_speedup')}x "
+                f">= {acceptance.get('timer_churn_min_speedup')}x")
+            gates.append(
+                f"scorecard speedup "
+                f"{acceptance.get('scorecard_speedup')}x "
+                f">= {acceptance.get('scorecard_min_speedup')}x")
+        if "determinism_ok" in acceptance:
+            gates.append("determinism "
+                         + ("ok" if acceptance["determinism_ok"]
+                            else "MISMATCH"))
         lines.append("acceptance: " + ", ".join(gates) + " -> "
                      + ("OK" if acceptance.get("ok") else "FAIL"))
     return "\n".join(lines)
