@@ -1,0 +1,57 @@
+"""The design-campaign soak: a simulated week of team load.
+
+Marked ``slow``: this is the long-running profile of the scenario DSL
+(diurnal load, hotspot objects, designer churn over several simulated
+days) and runs only in the non-blocking benchmarks job
+(``REPRO_RUN_SLOW=1``), never in the blocking tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import canonical_scenarios, compile_scenario
+from repro.sim.trace import record_scenario, replay_trace
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def week_report():
+    return compile_scenario(
+        canonical_scenarios()["campaign_design_week"]).run()
+
+
+class TestDesignWeekSoak:
+    def test_the_week_completes_every_session(self, week_report):
+        config = canonical_scenarios()["campaign_design_week"]
+        expected = (config.get("campaign", "days")
+                    * config.get("campaign", "sessions_per_day")
+                    * config.get("team", "size"))
+        assert week_report.sessions == expected
+        assert week_report.steps == expected \
+            * config.get("team", "steps_per_session")
+
+    def test_diurnal_profile_spans_every_day(self, week_report):
+        assert len(week_report.bytes_by_day) == week_report.days
+        assert all(day_bytes > 0
+                   for day_bytes in week_report.bytes_by_day)
+
+    def test_churn_cooled_buffers_each_morning(self, week_report):
+        assert week_report.churn_events == week_report.days - 1
+        assert week_report.churned_entries > 0
+
+    def test_hotspots_draw_skewed_traffic(self, week_report):
+        assert week_report.hotspot_reads > 0
+        assert week_report.hit_rate > 0.3
+
+    def test_leases_invalidate_stale_hot_copies(self, week_report):
+        assert week_report.checkins > 0
+        assert week_report.invalidations_sent > 0
+
+    def test_the_soak_records_and_replays(self):
+        config = canonical_scenarios()["campaign_design_week"]
+        trace = record_scenario(config)
+        assert len(trace.events) > 500
+        diff = replay_trace(trace)
+        assert diff.identical, diff.render()

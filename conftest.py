@@ -1,0 +1,23 @@
+"""Repo-root pytest configuration: the slow-marker split.
+
+The tier-1 suite must stay fast, so tests marked ``slow`` (multi-day
+scenario soaks) are skipped by default and run only when the
+``REPRO_RUN_SLOW`` environment variable is set — CI enables it in the
+non-blocking benchmarks job, never in the blocking tests job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_RUN_SLOW"):
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow soak; set REPRO_RUN_SLOW=1 to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -16,6 +16,14 @@ from repro.bench import ALL_ABLATIONS, ALL_EXPERIMENTS, ALL_FIGURES
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    if args and args[0] == "scenario":
+        from repro.scenario.cli import scenario_main
+
+        return scenario_main(args[1:])
+    if args and args[0] == "trace":
+        from repro.scenario.cli import trace_main
+
+        return trace_main(args[1:])
     wanted = {a.upper() for a in args}
     if wanted & {"--SCORECARD", "SCORECARD"}:
         from repro.bench.scorecard import run_scorecard

@@ -10,7 +10,7 @@ through.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.activity import DesignActivity
 from repro.core.features import DesignSpecification, RangeFeature
@@ -280,7 +280,9 @@ def concurrent_delegation_scenario(
         jitter: float = 0.0,
         seed: int = 0,
         trace: bool = False,
-        shards: int = 1) -> tuple[ConcordSystem, ConcurrentReport]:
+        shards: int = 1,
+        on_kernel: Callable[[Kernel], None] | None = None,
+        ) -> tuple[ConcordSystem, ConcurrentReport]:
     """Delegated subcell planning with every sub-DA live at once.
 
     The top-level DA plans cell 0, then delegates one sub-DA per
@@ -298,6 +300,8 @@ def concurrent_delegation_scenario(
     stations = ("ws-0",) + tuple(f"ws-{cell}" for cell in subcells)
     system = make_vlsi_system(stations, trace=trace, jitter=jitter,
                               seed=seed, shards=shards)
+    if on_kernel is not None:
+        on_kernel(system.kernel)
     report = ConcurrentReport()
     dots = vlsi_dots()
 
@@ -409,7 +413,10 @@ def object_buffer_scenario(team: int = 3,
                            bandwidth: float = 400.0,
                            lan_latency: float = 0.05,
                            jitter: float = 0.0,
-                           shards: int = 1) -> ShippingReport:
+                           shards: int = 1,
+                           lease_ttl: float | None = None,
+                           on_kernel: Callable[[Kernel], None]
+                           | None = None) -> ShippingReport:
     """A designer team exercising the data-shipping path end to end.
 
     Runs the *implemented* TE protocol — client-TMs, server-TM,
@@ -432,6 +439,8 @@ def object_buffer_scenario(team: int = 3,
     clock = SimClock()
     kernel = ShardedKernel(clock, shards=shards) if shards > 1 \
         else Kernel(clock)
+    if on_kernel is not None:
+        on_kernel(kernel)
     network = Network(clock, lan_latency=lan_latency, jitter=jitter,
                       seed=seed, bandwidth=bandwidth)
     network.attach_kernel(kernel)
@@ -439,7 +448,8 @@ def object_buffer_scenario(team: int = 3,
     kernel.assign_shard("server", 0)
     repository = DesignDataRepository()
     locks = LockManager()
-    server_tm = ServerTM(repository, locks, network, clock=clock)
+    server_tm = ServerTM(repository, locks, network, clock=clock,
+                         lease_ttl=lease_ttl)
     # the library pool is shared by construction; T8 measures
     # shipping, not authorization (scope checks are F-series ground)
     server_tm.scope_check = lambda da_id, dov_id: True
@@ -608,7 +618,10 @@ def write_back_scenario(team: int = 3,
                         jitter: float = 0.0,
                         flush_interval: int = 0,
                         restart: bool = True,
-                        shards: int = 1) -> WriteBackReport:
+                        shards: int = 1,
+                        lease_ttl: float | None = None,
+                        on_kernel: Callable[[Kernel], None]
+                        | None = None) -> WriteBackReport:
     """A designer team exercising write-back vs write-through checkins.
 
     Both modes run the implemented TE protocol with object buffers on;
@@ -635,6 +648,8 @@ def write_back_scenario(team: int = 3,
     clock = SimClock()
     kernel = ShardedKernel(clock, shards=shards) if shards > 1 \
         else Kernel(clock)
+    if on_kernel is not None:
+        on_kernel(kernel)
     network = Network(clock, lan_latency=lan_latency, jitter=jitter,
                       seed=seed, bandwidth=bandwidth)
     network.attach_kernel(kernel)
@@ -646,7 +661,8 @@ def write_back_scenario(team: int = 3,
     server.on_crash.append(lambda: repository.crash())
     server.on_restart.append(lambda: repository.recover())
     locks = LockManager()
-    server_tm = ServerTM(repository, locks, network, clock=clock)
+    server_tm = ServerTM(repository, locks, network, clock=clock,
+                         lease_ttl=lease_ttl)
     server_tm.scope_check = lambda da_id, dov_id: True
     server_tm.revalidate_on_restart = True
     rpc = TransactionalRpc(network)

@@ -1,0 +1,322 @@
+"""The design-campaign soak runner: days of diurnal team load.
+
+Where T8/T9 measure one session burst, a *campaign* runs the same TE
+stack (client-TMs, object buffers, server-TM, 2PC checkins, lease
+invalidations) for simulated **days**: session start times concentrate
+around midday (``diurnal_peak``), a subset of the library is hot
+(``hotspots`` / ``hotspot_bias``), and a fraction of the team churns
+at each day boundary — the replacement designer starts with a cold
+object buffer, which is exactly the warm-cache value the campaign
+quantifies.
+
+The whole multi-day plan (start offsets, read sets, durations, write
+decisions, churn victims) is drawn from the seed before the first
+event runs, so a campaign is as deterministic and replayable as every
+other kernel scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.net.network import Network
+from repro.net.rpc import TransactionalRpc
+from repro.repository.repository import DesignDataRepository
+from repro.repository.schema import (
+    AttributeDef,
+    AttributeKind,
+    DesignObjectType,
+)
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel
+from repro.sim.shard import ShardedKernel
+from repro.te.locks import LockManager
+from repro.te.object_buffer import ObjectBuffer
+from repro.te.transaction_manager import (
+    ClientTM,
+    ServerTM,
+    register_server_endpoints,
+)
+from repro.util.ids import IdGenerator
+from repro.util.rng import SeededRng
+
+
+@dataclass
+class CampaignReport:
+    """Chronicle of one multi-day design-campaign soak."""
+
+    days: int = 0
+    team: int = 0
+    #: designer sessions completed / tool steps executed
+    sessions: int = 0
+    steps: int = 0
+    #: simulated completion time of the whole campaign
+    makespan: float = 0.0
+    bytes_shipped: int = 0
+    messages: int = 0
+    hits: int = 0
+    misses: int = 0
+    hit_rate: float = 0.0
+    #: reads that landed on the hotspot subset
+    hotspot_reads: int = 0
+    checkins: int = 0
+    invalidations_sent: int = 0
+    invalidations_applied: int = 0
+    #: day-boundary churn events (each clears one designer's buffer)
+    churn_events: int = 0
+    #: buffer entries dropped cold by churn
+    churned_entries: int = 0
+    fetch_time: float = 0.0
+    #: per-day payload bytes (diurnal traffic profile)
+    bytes_by_day: list[int] = field(default_factory=list)
+    #: deterministic kernel fingerprint of the run
+    signature: tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class _SessionPlan:
+    """One pre-drawn designer session (fully deterministic)."""
+
+    day: int
+    designer: int
+    slot: int
+    start: float
+    durations: tuple[float, ...]
+    #: per step, the object names to check out
+    reads: tuple[tuple[str, ...], ...]
+    #: per step, True when the step checks in a derived version
+    writes: tuple[bool, ...]
+
+
+def _draw_plan(rng: SeededRng, *, team: int, days: int,
+               sessions_per_day: int, steps_per_session: int,
+               mean_step: float, day_length: float, diurnal_peak: float,
+               object_pool: int, hotspots: int, hotspot_bias: float,
+               reads_per_step: int, reread_locality: float,
+               write_ratio: float) -> list[_SessionPlan]:
+    """Draw the whole campaign up front from one seeded stream."""
+    plans: list[_SessionPlan] = []
+    working: dict[int, list[str]] = {i: [] for i in range(team)}
+    # diurnal concentration: peak=1 spreads starts over the whole day,
+    # higher peaks narrow the start window symmetrically around midday
+    spread = 1.0 / diurnal_peak
+    for day in range(days):
+        for designer in range(team):
+            for slot in range(sessions_per_day):
+                offset = day_length * (0.5 + (rng.random() - 0.5)
+                                       * spread)
+                start = day * day_length + offset
+                durations = tuple(
+                    rng.bounded_normal(mean_step, mean_step / 3.0,
+                                       mean_step / 10.0, mean_step * 3.0)
+                    for _ in range(steps_per_session))
+                reads: list[tuple[str, ...]] = []
+                writes: list[bool] = []
+                for _ in range(steps_per_session):
+                    step_reads: list[str] = []
+                    for _ in range(reads_per_step):
+                        ws = working[designer]
+                        if ws and rng.bernoulli(reread_locality):
+                            obj = rng.choice(ws)
+                        elif hotspots and rng.bernoulli(hotspot_bias):
+                            obj = f"lib-{rng.randint(0, hotspots - 1)}"
+                        else:
+                            obj = f"lib-{rng.randint(0, object_pool - 1)}"
+                        step_reads.append(obj)
+                        if obj not in ws:
+                            ws.append(obj)
+                            del ws[:-4]  # bounded working set
+                    reads.append(tuple(step_reads))
+                    writes.append(bool(step_reads)
+                                  and rng.bernoulli(write_ratio))
+                plans.append(_SessionPlan(
+                    day=day, designer=designer, slot=slot, start=start,
+                    durations=durations, reads=tuple(reads),
+                    writes=tuple(writes)))
+    return plans
+
+
+def design_campaign_scenario(team: int = 4,
+                             steps_per_session: int = 3,
+                             mean_step: float = 40.0,
+                             seed: int = 29,
+                             days: int = 5,
+                             sessions_per_day: int = 3,
+                             day_length: float = 480.0,
+                             diurnal_peak: float = 2.0,
+                             churn: float = 0.2,
+                             object_pool: int = 6,
+                             payload_bytes: int = 4000,
+                             hotspots: int = 2,
+                             hotspot_bias: float = 0.5,
+                             reads_per_step: int = 2,
+                             reread_locality: float = 0.5,
+                             write_ratio: float = 0.3,
+                             caching: bool = True,
+                             bandwidth: float = 400.0,
+                             lan_latency: float = 0.05,
+                             jitter: float = 0.0,
+                             lease_ttl: float | None = None,
+                             shards: int = 1,
+                             on_kernel: Callable[[Kernel], None]
+                             | None = None) -> CampaignReport:
+    """Run a multi-day design campaign on the real TE stack."""
+    clock = SimClock()
+    kernel = ShardedKernel(clock, shards=shards) if shards > 1 \
+        else Kernel(clock)
+    if on_kernel is not None:
+        on_kernel(kernel)
+    network = Network(clock, lan_latency=lan_latency, jitter=jitter,
+                      seed=seed, bandwidth=bandwidth)
+    network.attach_kernel(kernel)
+    network.add_server()
+    kernel.assign_shard("server", 0)
+    repository = DesignDataRepository()
+    locks = LockManager()
+    server_tm = ServerTM(repository, locks, network, clock=clock,
+                         lease_ttl=lease_ttl)
+    server_tm.scope_check = lambda da_id, dov_id: True
+    rpc = TransactionalRpc(network)
+    register_server_endpoints(rpc, server_tm)
+    ids = IdGenerator()
+
+    repository.register_dot(DesignObjectType("SharedObject", attributes=[
+        AttributeDef("name", AttributeKind.STRING),
+        AttributeDef("blob", AttributeKind.STRING),
+    ]))
+    repository.create_graph("lib")
+    current: dict[str, str] = {}
+
+    def blob_for(obj: str, generation: int) -> str:
+        index = int(obj.rsplit("-", 1)[-1])
+        return chr(ord("a") + generation % 26) \
+            * (payload_bytes + 256 * index)
+
+    for index in range(object_pool):
+        name = f"lib-{index}"
+        dov = repository.checkin(
+            "lib", "SharedObject",
+            {"name": name, "blob": blob_for(name, 0)}, ())
+        current[name] = dov.dov_id
+
+    rng = SeededRng(seed)
+    plans = _draw_plan(
+        rng.fork(1), team=team, days=days,
+        sessions_per_day=sessions_per_day,
+        steps_per_session=steps_per_session, mean_step=mean_step,
+        day_length=day_length, diurnal_peak=diurnal_peak,
+        object_pool=object_pool, hotspots=hotspots,
+        hotspot_bias=hotspot_bias, reads_per_step=reads_per_step,
+        reread_locality=reread_locality, write_ratio=write_ratio)
+
+    report = CampaignReport(days=days, team=team)
+    clients: list[ClientTM] = []
+    buffers: list[ObjectBuffer] = []
+    generations: dict[str, int] = {}
+    hotspot_names = {f"lib-{index}" for index in range(hotspots)}
+
+    for index in range(team):
+        workstation = f"ws-{index}"
+        network.add_workstation(workstation)
+        kernel.assign_shard(workstation, (1 + index) % max(shards, 1))
+        buffer = ObjectBuffer(workstation, policy="lru") if caching \
+            else None
+        client = ClientTM(workstation, server_tm, rpc, clock, ids=ids,
+                          buffer=buffer)
+        repository.create_graph(f"da-{index}")
+        clients.append(client)
+        if buffer is not None:
+            buffers.append(buffer)
+
+    def run_session(plan: _SessionPlan) -> None:
+        client = clients[plan.designer]
+        dop = client.begin_dop(f"da-{plan.designer}",
+                               tool="campaign-tool")
+        state = {"step": 0}
+
+        def start_step() -> None:
+            step = state["step"]
+            fetched_before = client.fetch_time
+            for obj in plan.reads[step]:
+                client.checkout(dop, current[obj])
+                if obj in hotspot_names:
+                    report.hotspot_reads += 1
+            fetch_delay = client.fetch_time - fetched_before
+            kernel.after(
+                fetch_delay + plan.durations[step],
+                lambda: finish_step(step),
+                label=f"campaign-step:d{plan.day}:w{plan.designer}"
+                      f":s{plan.slot}:{step}")
+
+        def finish_step(step: int) -> None:
+            report.steps += 1
+            reads = plan.reads[step]
+            if plan.writes[step] and reads:
+                target = reads[0]
+                generations[target] = generations.get(target, 0) + 1
+                result = client.checkin(
+                    dop, "SharedObject",
+                    data={"name": target,
+                          "blob": blob_for(target, generations[target])},
+                    parents=[current[target]])
+                if result.success:
+                    current[target] = result.dov.dov_id
+                    report.checkins += 1
+            state["step"] = step + 1
+            if state["step"] >= len(plan.durations):
+                client.commit_dop(dop)
+                report.sessions += 1
+                return
+            start_step()
+
+        start_step()
+
+    for plan in plans:
+        kernel.at(plan.start, lambda p=plan: run_session(p),
+                  label=f"campaign-begin:d{plan.day}:w{plan.designer}"
+                        f":s{plan.slot}")
+
+    # -- churn: at each day boundary a rotating subset of the team is
+    # replaced; the successor inherits the workstation but none of the
+    # warm buffer state
+    victims_per_day = int(team * churn + 1e-9)
+    if caching and victims_per_day:
+        for day in range(1, days):
+            for slot in range(victims_per_day):
+                victim = ((day - 1) * victims_per_day + slot) % team
+
+                def churn_designer(index: int = victim) -> None:
+                    report.churn_events += 1
+                    report.churned_entries += buffers[index].clear()
+
+                kernel.at(day * day_length, churn_designer,
+                          label=f"campaign-churn:d{day}:w{victim}",
+                          priority=-1)
+
+    # -- per-day traffic profile, sampled at each boundary
+    day_marks: list[int] = []
+    for day in range(1, days + 1):
+        kernel.at(day * day_length,
+                  lambda: day_marks.append(network.bytes_shipped),
+                  label=f"campaign-day-mark:{day}", priority=1)
+
+    kernel.run_until_quiescent()
+
+    stats = network.traffic_stats()
+    report.makespan = clock.now
+    report.bytes_shipped = stats["bytes_shipped"]
+    report.messages = stats["messages_sent"]
+    report.hits = sum(b.hits for b in buffers)
+    report.misses = sum(b.misses for b in buffers)
+    looked_up = report.hits + report.misses
+    report.hit_rate = report.hits / looked_up if looked_up else 0.0
+    report.invalidations_sent = server_tm.invalidations_sent
+    report.invalidations_applied = sum(b.invalidations for b in buffers)
+    report.fetch_time = sum(c.fetch_time for c in clients)
+    prev = 0
+    for sample in day_marks:
+        report.bytes_by_day.append(sample - prev)
+        prev = sample
+    report.signature = kernel.trace_signature()
+    return report

@@ -1,0 +1,264 @@
+"""Compile validated scenario configs to the concrete runners.
+
+The compiler is the bridge between the DSL and the hand-written
+scenario functions in :mod:`repro.bench.scenarios` (and the campaign
+soak in :mod:`repro.scenario.campaign`): each scenario *kind* maps the
+canonical tables onto one runner's keyword arguments.  Compilation is
+pure — a :class:`CompiledScenario` holds only the frozen config and a
+kind entry, and every :meth:`CompiledScenario.run` builds the entire
+world (kernel, network, repository, RNG streams) from scratch, so
+back-to-back runs of the same compiled scenario are byte-identical
+and never bleed state into each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.scenario.schema import ScenarioConfig, ScenarioError
+from repro.sim.kernel import Kernel
+
+
+def _ttl(config: ScenarioConfig) -> float | None:
+    """The [leases].ttl knob: 0 means leases stay recall-only."""
+    ttl = config.get("leases", "ttl")
+    return ttl if ttl > 0.0 else None
+
+
+def _run_object_buffers(config: ScenarioConfig, shards: int,
+                        on_kernel: Callable[[Kernel], None] | None
+                        ) -> Any:
+    from repro.bench.scenarios import object_buffer_scenario
+
+    return object_buffer_scenario(
+        team=config.get("team", "size"),
+        steps_per_session=config.get("team", "steps_per_session"),
+        mean_step=config.get("team", "mean_step"),
+        seed=config.seed,
+        caching=config.get("buffers", "caching"),
+        reread_locality=config.get("locality", "reread"),
+        write_mix=config.get("writes", "ratio"),
+        reads_per_step=config.get("locality", "reads_per_step"),
+        object_pool=config.get("objects", "pool"),
+        payload_bytes=config.get("objects", "payload_bytes"),
+        bandwidth=config.get("traffic", "bandwidth"),
+        lan_latency=config.get("traffic", "lan_latency"),
+        jitter=config.get("traffic", "jitter"),
+        shards=shards,
+        lease_ttl=_ttl(config),
+        on_kernel=on_kernel)
+
+
+def _run_write_back(config: ScenarioConfig, shards: int,
+                    on_kernel: Callable[[Kernel], None] | None) -> Any:
+    from repro.bench.scenarios import write_back_scenario
+
+    return write_back_scenario(
+        team=config.get("team", "size"),
+        steps_per_session=config.get("team", "steps_per_session"),
+        mean_step=config.get("team", "mean_step"),
+        seed=config.seed,
+        write_back=config.get("writes", "write_back"),
+        write_ratio=config.get("writes", "ratio"),
+        reads_per_step=config.get("locality", "reads_per_step"),
+        reread_locality=config.get("locality", "reread"),
+        object_pool=config.get("objects", "pool"),
+        payload_bytes=config.get("objects", "payload_bytes"),
+        bandwidth=config.get("traffic", "bandwidth"),
+        lan_latency=config.get("traffic", "lan_latency"),
+        jitter=config.get("traffic", "jitter"),
+        flush_interval=config.get("writes", "flush_interval"),
+        restart=config.get("crashes", "server_restart"),
+        shards=shards,
+        lease_ttl=_ttl(config),
+        on_kernel=on_kernel)
+
+
+def _run_concurrent_delegation(config: ScenarioConfig, shards: int,
+                               on_kernel: Callable[[Kernel], None]
+                               | None) -> Any:
+    from repro.bench.scenarios import concurrent_delegation_scenario
+
+    schedule = config.get("crashes", "schedule")
+    if len(schedule) > 1:
+        raise ScenarioError(
+            "[crashes].schedule: concurrent_delegation compiles at "
+            "most one crash entry")
+    crash = None
+    if schedule:
+        entry = schedule[0]
+        crash = (entry["node"], entry["at"], entry["restart_after"])
+    __, report = concurrent_delegation_scenario(
+        subcells=tuple(config.get("team", "subcells")),
+        concurrent=True,
+        crash=crash,
+        jitter=config.get("traffic", "jitter"),
+        seed=config.seed,
+        shards=shards,
+        on_kernel=on_kernel)
+    return report
+
+
+def _run_campaign(config: ScenarioConfig, shards: int,
+                  on_kernel: Callable[[Kernel], None] | None) -> Any:
+    from repro.scenario.campaign import design_campaign_scenario
+
+    return design_campaign_scenario(
+        team=config.get("team", "size"),
+        steps_per_session=config.get("team", "steps_per_session"),
+        mean_step=config.get("team", "mean_step"),
+        seed=config.seed,
+        days=config.get("campaign", "days"),
+        sessions_per_day=config.get("campaign", "sessions_per_day"),
+        day_length=config.get("campaign", "day_length"),
+        diurnal_peak=config.get("campaign", "diurnal_peak"),
+        churn=config.get("campaign", "churn"),
+        object_pool=config.get("objects", "pool"),
+        payload_bytes=config.get("objects", "payload_bytes"),
+        hotspots=config.get("objects", "hotspots"),
+        hotspot_bias=config.get("objects", "hotspot_bias"),
+        reads_per_step=config.get("locality", "reads_per_step"),
+        reread_locality=config.get("locality", "reread"),
+        write_ratio=config.get("writes", "ratio"),
+        caching=config.get("buffers", "caching"),
+        bandwidth=config.get("traffic", "bandwidth"),
+        lan_latency=config.get("traffic", "lan_latency"),
+        jitter=config.get("traffic", "jitter"),
+        lease_ttl=_ttl(config),
+        shards=shards,
+        on_kernel=on_kernel)
+
+
+#: kind -> runner adapter (the compiler's whole dispatch table)
+KIND_RUNNERS: dict[str, Callable[..., Any]] = {
+    "object_buffers": _run_object_buffers,
+    "write_back": _run_write_back,
+    "concurrent_delegation": _run_concurrent_delegation,
+    "campaign": _run_campaign,
+}
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A scenario bound to its runner, ready to execute.
+
+    ``run`` may be called any number of times; each call builds a
+    fresh world from the frozen config (the no-state-leakage
+    guarantee the DSL tests pin down).
+    """
+
+    config: ScenarioConfig
+
+    def run(self, shards: int | None = None,
+            on_kernel: Callable[[Kernel], None] | None = None) -> Any:
+        """Execute the scenario and return its report.
+
+        *shards* overrides the config's ``[scenario].shards`` (the
+        trace replayer uses this to re-execute a recorded run on a
+        different kernel layout); *on_kernel* is invoked with the
+        run's kernel as soon as it exists, before any event executes
+        — the capture hook of :mod:`repro.sim.trace`.
+        """
+        runner = KIND_RUNNERS[self.config.kind]
+        return runner(self.config,
+                      self.config.shards if shards is None else shards,
+                      on_kernel)
+
+
+def compile_scenario(config: ScenarioConfig) -> CompiledScenario:
+    """Bind *config* to its kind's runner."""
+    if config.kind not in KIND_RUNNERS:
+        raise ScenarioError(
+            f"[scenario].kind: no runner for {config.kind!r}")
+    return CompiledScenario(config=config)
+
+
+def canonical_scenarios() -> dict[str, ScenarioConfig]:
+    """The shipped scenario library, as in-code source of truth.
+
+    The ``scenarios/*.toml`` files in the repository are the dumped
+    form of exactly these configs — a sync test asserts the files
+    equal ``dump_scenario`` of each entry, so the library cannot
+    drift from the DSL.
+    """
+    from repro.scenario.schema import validate_scenario
+
+    return {
+        "t7_concurrent_team": validate_scenario({
+            "scenario": {
+                "name": "t7-concurrent-team",
+                "kind": "concurrent_delegation",
+                "description": "Fig.5 team: three delegated subcell "
+                               "planners interleaved on one kernel",
+                "seed": 0,
+            },
+            "team": {"subcells": ["A", "B", "C"]},
+        }),
+        "t8_object_buffers": validate_scenario({
+            "scenario": {
+                "name": "t8-object-buffers",
+                "kind": "object_buffers",
+                "description": "T8 data shipping: cached re-reads vs "
+                               "re-shipped payloads",
+                "seed": 11,
+            },
+            "team": {"size": 3, "steps_per_session": 4,
+                     "mean_step": 60.0},
+            "objects": {"pool": 4, "payload_bytes": 4000},
+            "locality": {"reads_per_step": 2, "reread": 0.6},
+            "writes": {"ratio": 0.3},
+            "buffers": {"caching": True},
+            "traffic": {"bandwidth": 400.0, "lan_latency": 0.05},
+        }),
+        "t9_write_back": validate_scenario({
+            "scenario": {
+                "name": "t9-write-back",
+                "kind": "write_back",
+                "description": "T9 write-back: staged dirty checkins "
+                               "group-flushed at End-of-DOP",
+                "seed": 13,
+            },
+            "team": {"size": 3, "steps_per_session": 4,
+                     "mean_step": 60.0},
+            "objects": {"pool": 4, "payload_bytes": 4000},
+            "locality": {"reads_per_step": 2, "reread": 0.6},
+            "writes": {"ratio": 0.6, "write_back": True},
+            "crashes": {"server_restart": True},
+        }),
+        "t9_write_through": validate_scenario({
+            "scenario": {
+                "name": "t9-write-through",
+                "kind": "write_back",
+                "description": "T9 reference: every checkin ships "
+                               "eagerly through its own 2PC",
+                "seed": 13,
+            },
+            "team": {"size": 3, "steps_per_session": 4,
+                     "mean_step": 60.0},
+            "objects": {"pool": 4, "payload_bytes": 4000},
+            "locality": {"reads_per_step": 2, "reread": 0.6},
+            "writes": {"ratio": 0.6, "write_back": False},
+            "crashes": {"server_restart": True},
+        }),
+        "campaign_design_week": validate_scenario({
+            "scenario": {
+                "name": "campaign-design-week",
+                "kind": "campaign",
+                "description": "soak: a five-day design week with "
+                               "diurnal load, hotspot objects and "
+                               "designer churn",
+                "seed": 29,
+            },
+            "team": {"size": 4, "steps_per_session": 3,
+                     "mean_step": 40.0},
+            "objects": {"pool": 6, "payload_bytes": 4000,
+                        "hotspots": 2, "hotspot_bias": 0.5},
+            "locality": {"reads_per_step": 2, "reread": 0.5},
+            "writes": {"ratio": 0.3},
+            "leases": {"ttl": 120.0},
+            "campaign": {"days": 5, "sessions_per_day": 3,
+                         "day_length": 480.0, "diurnal_peak": 2.0,
+                         "churn": 0.25},
+        }),
+    }

@@ -15,10 +15,12 @@ extended with the execution services the concurrent system needs:
   restart) at arbitrary simulated instants, the kernel-native form of
   the :class:`~repro.sim.injector.FailureInjector`;
 * **a deterministic event trace** — every executed event is recorded
-  as ``(time, seq, label)`` in :attr:`event_log`, so two identically
-  seeded runs can be compared event by event.  The ``(time, priority,
-  seq)`` tie-breaking of the underlying scheduler makes the trace — and
-  therefore the whole simulation — reproducible.
+  as ``(time, priority, seq, label)`` in :attr:`event_log`, so two
+  identically seeded runs can be compared event by event (and the full
+  stream can be persisted/replayed through :mod:`repro.sim.trace`).
+  The ``(time, priority, seq)`` tie-breaking of the underlying
+  scheduler makes the trace — and therefore the whole simulation —
+  reproducible.
 
 The :attr:`running` flag is True only while the kernel is executing
 events; components use it to decide between queued asynchronous
@@ -113,8 +115,9 @@ class Kernel(EventScheduler):
         #: True while the kernel is inside :meth:`step` / ``run``
         self.running = False
         self.trace_events = trace_events  # property: binds dispatch
-        #: executed events as ``(time, seq, label)`` — determinism guard
-        self.event_log: list[tuple[float, int, str]] = []
+        #: executed events as ``(time, priority, seq, label)`` — the
+        #: determinism guard and the record/replay stream
+        self.event_log: list[tuple[float, int, int, str]] = []
         #: enacted crash/restart events (kernel-native failure log)
         self.injections: list[InjectionLogEntry] = []
 
@@ -158,7 +161,8 @@ class Kernel(EventScheduler):
 
     def _execute(self, event: _ScheduledEvent) -> None:
         if self.trace_events:
-            self.event_log.append((event.time, event.seq, event.label))
+            self.event_log.append((event.time, event.priority,
+                                   event.seq, event.label))
         event.action()
 
     def run_until_quiescent(self, max_events: int = 1_000_000,
@@ -257,4 +261,4 @@ class Kernel(EventScheduler):
         ``(time, priority, seq)`` tie-breaking.
         """
         return (len(self.event_log), self.clock.now,
-                tuple(label for _, _, label in self.event_log))
+                tuple(label for *_, label in self.event_log))

@@ -79,7 +79,7 @@ class TestInterleaving:
     def test_event_trace_shows_interleaved_finishes(self, trio):
         system, __, subs = trio
         system.run_concurrent(subs)
-        finishes = [label for __, __, label in system.kernel.event_log
+        finishes = [label for *__, label in system.kernel.event_log
                     if label.startswith("dop-finish:")]
         owners = [label.split(":")[1] for label in finishes]
         # the finish stream switches DA more often than a serialised

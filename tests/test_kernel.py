@@ -70,7 +70,7 @@ class TestEventLog:
         kernel.at(2.0, lambda: None, label="b")
         kernel.at(1.0, lambda: None, label="a")
         kernel.run_until_quiescent()
-        assert [(t, label) for t, _, label in kernel.event_log] \
+        assert [(t, label) for t, *_, label in kernel.event_log] \
             == [(1.0, "a"), (2.0, "b")]
 
     def test_trace_signature_is_deterministic(self):
@@ -156,7 +156,7 @@ class TestTimer:
         kernel.run_until_quiescent()
         assert fired == [9.0]
         # one extension = one re-check event, not a second live timer
-        labels = [l for _, _, l in kernel.event_log if l == "timer"]
+        labels = [l for *_, l in kernel.event_log if l == "timer"]
         assert len(labels) == 2
 
     def test_cancel_makes_the_pending_event_inert(self):
@@ -179,3 +179,78 @@ class TestTimer:
         kernel.at(2.0, lambda: timer.arm(5.0), label="rearm")
         kernel.run_until_quiescent()
         assert fired == [5.0]
+
+
+class TestRunBoundariesUntraced:
+    """``run(until=..., max_events=...)`` boundary semantics with
+    tracing off — the bounds are enforced inside the scheduler's batch
+    fast path, so they must hold exactly when ``_execute`` is shadowed
+    by the direct dispatch."""
+
+    def _kernel(self):
+        kernel = Kernel(trace_events=False)
+        fired: list[float] = []
+        for t in (1.0, 2.0, 2.0, 3.0):
+            kernel.at(t, lambda t=t: fired.append(t), label=f"e{t}")
+        return kernel, fired
+
+    def test_until_is_inclusive_and_advances_the_clock(self):
+        kernel, fired = self._kernel()
+        ran = kernel.run(until=2.0)
+        assert ran == 3
+        assert fired == [1.0, 2.0, 2.0]  # both t=2.0 events dispatch
+        assert kernel.clock.now == 2.0
+        assert kernel.pending == 1
+        assert kernel.event_log == []  # untraced
+
+    def test_until_between_events_still_advances_the_clock(self):
+        kernel, fired = self._kernel()
+        kernel.run(until=2.5)
+        assert fired == [1.0, 2.0, 2.0]
+        assert kernel.clock.now == 2.5  # deadline, not last event
+
+    def test_max_events_stops_before_the_next_event(self):
+        kernel, fired = self._kernel()
+        ran = kernel.run(max_events=2)
+        assert ran == 2
+        assert fired == [1.0, 2.0]
+        # the clock sits at the last *executed* event, never past
+        # undispatched ones
+        assert kernel.clock.now == 2.0
+        assert kernel.pending == 2
+
+    def test_max_events_zero_executes_nothing(self):
+        kernel, fired = self._kernel()
+        assert kernel.run(max_events=0) == 0
+        assert fired == []
+        assert kernel.pending == 4
+        assert kernel.clock.now == 0.0
+
+    def test_bounds_compose_and_runs_resume(self):
+        kernel, fired = self._kernel()
+        assert kernel.run(until=3.0, max_events=1) == 1
+        assert fired == [1.0]
+        assert kernel.run(until=3.0) == 3
+        assert fired == [1.0, 2.0, 2.0, 3.0]
+        assert kernel.quiescent
+
+    def test_untraced_order_matches_traced_order(self):
+        def drive(trace: bool) -> list[str]:
+            kernel = Kernel(trace_events=trace)
+            seen: list[str] = []
+            for index, t in enumerate((3.0, 1.0, 2.0, 2.0)):
+                kernel.at(t, lambda i=index: seen.append(f"e{i}"),
+                          label=f"e{index}")
+            kernel.run(until=2.0)
+            kernel.run()
+            return seen
+
+        assert drive(False) == drive(True)
+
+    def test_trace_toggle_mid_run_resumes_recording(self):
+        kernel, fired = self._kernel()
+        kernel.run(max_events=1)
+        kernel.trace_events = True
+        kernel.run()
+        assert [label for *_, label in kernel.event_log] \
+            == ["e2.0", "e2.0", "e3.0"]

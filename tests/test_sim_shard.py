@@ -117,3 +117,55 @@ class TestScenarioEquivalence:
         stats = system.kernel.shard_stats()
         assert stats["shards"] == 2
         assert stats["cross_shard_messages"] > 0
+
+
+class TestShardTraceCapture:
+    """The sharded loop's merged trace IS the single-kernel trace."""
+
+    def test_merged_event_log_equals_single_kernel(self):
+        """At shards>1 every executed event still flows through
+        ``_execute``, so the merged (time, priority, seq, label)
+        stream is identical to the unsharded kernel's."""
+        def storm(kernel):
+            for index in range(40):
+                kernel.defer_to(index % 3, (index * 7) % 13 + 0.25,
+                                lambda: None, label=f"evt-{index}")
+            kernel.run()
+            return list(kernel.event_log)
+
+        sharded = storm(ShardedKernel(SimClock(), shards=3))
+        plain = storm(Kernel(SimClock()))
+        assert sharded == plain
+
+    def test_recorded_scenario_trace_is_shard_invariant(self):
+        """A T8 trace recorded at shards=2 equals the shards=1
+        recording byte for byte — the capture side of the replay
+        oracle's shard override."""
+        from repro.scenario import canonical_scenarios
+        from repro.sim.trace import record_scenario
+
+        config = canonical_scenarios()["t8_object_buffers"]
+        one = record_scenario(config, shards=1)
+        two = record_scenario(config, shards=2)
+        assert two.events == one.events
+        assert two.final_time == one.final_time
+        assert two.meta["shards"] == 2
+
+    def test_untraced_sharded_run_keeps_merge_order(self):
+        """trace_events=False at shards>1: no log, same dispatch."""
+        seen: list[str] = []
+
+        def storm(kernel):
+            for index in range(20):
+                kernel.defer_to(index % 2, (index * 5) % 7 + 0.5,
+                                lambda i=index: seen.append(f"e{i}"),
+                                label="evt")
+            kernel.run()
+
+        kernel = ShardedKernel(SimClock(), shards=2,
+                               trace_events=False)
+        storm(kernel)
+        untraced, seen = seen, []
+        storm(ShardedKernel(SimClock(), shards=2))
+        assert untraced == seen
+        assert kernel.event_log == []

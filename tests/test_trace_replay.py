@@ -1,0 +1,203 @@
+"""The trace record/replay oracle against the committed goldens.
+
+The regression contract of this PR: the golden traces under
+``tests/data/traces/`` pin the exact kernel event stream of the T7 and
+T8 scenarios, and replaying them must be **byte-identical** under the
+current fast-path build, under the full compat build (every fast path
+off), and at ``shards=1`` explicitly — any future kernel, scheduler or
+protocol change that silently reorders the simulation fails here with
+a first-divergence report instead of passing unnoticed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import canonical_scenarios
+from repro.sim.kernel import Kernel
+from repro.sim.trace import (
+    TRACE_FORMAT,
+    BuildFlags,
+    KernelTrace,
+    TraceError,
+    capture_trace,
+    diff_traces,
+    load_trace,
+    record_scenario,
+    replay_trace,
+    save_trace,
+)
+
+TRACES = Path(__file__).parent / "data" / "traces"
+GOLDENS = ("t7_concurrent_team", "t8_object_buffers")
+
+
+@pytest.fixture(scope="module", params=GOLDENS)
+def golden(request):
+    return request.param, load_trace(TRACES / f"{request.param}.jsonl")
+
+
+class TestGoldenReplay:
+    def test_golden_traces_are_committed(self):
+        for name in GOLDENS:
+            assert (TRACES / f"{name}.jsonl").is_file()
+
+    def test_replay_under_default_build(self, golden):
+        name, trace = golden
+        diff = replay_trace(trace)
+        assert diff.identical, f"{name}:\n{diff.render()}"
+
+    def test_replay_under_compat_build(self, golden):
+        """The seed-equivalent build (kernel_fast_path(False) et al.)
+        replays the identical stream."""
+        name, trace = golden
+        diff = replay_trace(trace, flags=BuildFlags.compat())
+        assert diff.identical, f"{name}:\n{diff.render()}"
+
+    def test_replay_under_kernel_fast_path_off_alone(self, golden):
+        name, trace = golden
+        flags = BuildFlags(kernel_fast_path=False)
+        diff = replay_trace(trace, flags=flags)
+        assert diff.identical, f"{name}:\n{diff.render()}"
+
+    def test_replay_at_one_shard(self, golden):
+        name, trace = golden
+        diff = replay_trace(trace, shards=1)
+        assert diff.identical, f"{name}:\n{diff.render()}"
+
+    def test_rerecord_is_byte_identical(self, golden, tmp_path):
+        """The artifact itself is deterministic: re-recording the
+        embedded scenario reproduces the committed bytes exactly."""
+        name, trace = golden
+        from repro.scenario.schema import validate_scenario
+
+        config = validate_scenario(trace.scenario)
+        fresh = record_scenario(
+            config, flags=BuildFlags.from_dict(trace.meta["flags"]),
+            shards=trace.meta["shards"])
+        out = save_trace(fresh, tmp_path / "fresh.jsonl")
+        committed = (TRACES / f"{name}.jsonl").read_bytes()
+        assert out.read_bytes() == committed
+
+    def test_golden_headers_are_self_contained(self, golden):
+        name, trace = golden
+        assert trace.meta["format"] == TRACE_FORMAT
+        assert trace.meta["events"] == len(trace.events)
+        assert trace.scenario["scenario"]["kind"]
+        assert trace.scenario["scenario"]["seed"] >= 0
+
+
+class TestDivergenceReporting:
+    def test_doctored_event_reports_first_divergence(self, golden):
+        name, trace = golden
+        doctored = KernelTrace(
+            meta=dict(trace.meta),
+            events=list(trace.events))
+        index = len(doctored.events) // 2
+        time, priority, seq, label = doctored.events[index]
+        doctored.events[index] = (time, priority, seq, "doctored")
+        diff = diff_traces(doctored, trace)
+        assert not diff.identical
+        assert diff.first_divergence == index
+        assert diff.expected[3] == "doctored"
+        assert diff.actual[3] == label
+        report = diff.render()
+        assert f"#{index}" in report
+        assert "doctored" in report
+
+    def test_truncated_stream_reports_length_divergence(self, golden):
+        __, trace = golden
+        short = KernelTrace(meta=dict(trace.meta),
+                            events=list(trace.events[:-2]))
+        diff = diff_traces(trace, short)
+        assert not diff.identical
+        assert diff.first_divergence == len(trace.events) - 2
+        assert diff.actual is None
+        assert "(stream ended)" in diff.render()
+
+    def test_identical_render_names_the_count(self, golden):
+        __, trace = golden
+        diff = diff_traces(trace, trace)
+        assert diff.identical
+        assert str(len(trace.events)) in diff.render()
+
+
+class TestArtifactValidation:
+    def test_load_rejects_wrong_format(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format":"concord-kernel-trace/99"}\n')
+        with pytest.raises(TraceError, match="format"):
+            load_trace(bad)
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('[1.0,0,0,"x"]\n')
+        with pytest.raises(TraceError, match="header"):
+            load_trace(bad)
+
+    def test_load_rejects_event_count_mismatch(self, tmp_path, golden):
+        __, trace = golden
+        lines = (TRACES / f"{golden[0]}.jsonl").read_text().splitlines()
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines[:-1]) + "\n")  # drop one event
+        with pytest.raises(TraceError, match="declares"):
+            load_trace(bad)
+
+    def test_load_names_the_bad_line(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format":"%s","events":1}\n[1.0,0]\n'
+                       % TRACE_FORMAT)
+        with pytest.raises(TraceError, match=":2:"):
+            load_trace(bad)
+
+    def test_capture_refuses_untraced_kernel(self):
+        kernel = Kernel(trace_events=False)
+        kernel.at(1.0, lambda: None)
+        kernel.run_until_quiescent()
+        with pytest.raises(TraceError, match="trace_events=False"):
+            capture_trace(kernel)
+
+    def test_replay_refuses_scenario_free_trace(self):
+        trace = KernelTrace(meta={"format": TRACE_FORMAT}, events=[])
+        with pytest.raises(TraceError, match="embedded scenario"):
+            replay_trace(trace)
+
+
+class TestFlagPlumbing:
+    def test_compat_is_all_off(self):
+        flags = BuildFlags.compat()
+        assert not flags.kernel_fast_path
+        assert not flags.payload_fast_path
+        assert not flags.lease_fast_path
+
+    def test_round_trip_through_dict(self):
+        flags = BuildFlags(kernel_fast_path=False)
+        assert BuildFlags.from_dict(flags.as_dict()) == flags
+
+    def test_apply_flips_and_restores_the_switches(self):
+        from repro.repository import versions
+        from repro.sim import scheduler
+        from repro.txn import leases
+
+        before = (scheduler._FAST_PATH, versions._FAST_PATH,
+                  leases._FAST_PATH)
+        with BuildFlags.compat().apply():
+            assert not scheduler._FAST_PATH
+            assert not versions._FAST_PATH
+            assert not leases._FAST_PATH
+        assert (scheduler._FAST_PATH, versions._FAST_PATH,
+                leases._FAST_PATH) == before
+
+
+class TestT9Coverage:
+    """T9 is not pinned as a golden (the restart episode makes its
+    stream longer) but must replay just as exactly."""
+
+    def test_t9_records_and_replays(self):
+        config = canonical_scenarios()["t9_write_back"]
+        trace = record_scenario(config)
+        assert trace.events
+        diff = replay_trace(trace, flags=BuildFlags.compat())
+        assert diff.identical, diff.render()

@@ -126,7 +126,7 @@ class TestTtlExpiryOnKernel:
         dop = client.begin_dop("da-1", tool="t")
         client.checkout(dop, rig["dov0"].dov_id)
         rig["kernel"].run_until_quiescent()
-        labels = [label for _, _, label in rig["kernel"].event_log]
+        labels = [label for *_, label in rig["kernel"].event_log]
         assert any(label.startswith("lease-expiry:") for label in labels)
 
     def test_renewal_message_keeps_the_copy_resident(self):
