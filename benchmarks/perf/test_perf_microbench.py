@@ -24,6 +24,7 @@ EXPECTED = {
     "kernel_timer_churn",
     "payload_sizing",
     "scorecard_wall_clock",
+    "shard_scaling",
 }
 
 

@@ -1,0 +1,64 @@
+"""The shard-scaling curve of the multi-process kernel, full size.
+
+Marked ``slow``: this is the full T11 saturation-storm measurement
+behind the ``shard_scaling`` entry of ``BENCH_PERF.json`` — 400
+workstations on real spawned worker processes at 2 and 4 shards,
+checked both ways: the merged trace must be byte-identical to the
+single-process :class:`~repro.sim.shard.ShardedKernel` run, and the
+capacity speedup (events per busiest-worker CPU second) at 4 workers
+must clear the committed acceptance floor.  Wall clock is reported
+but never gated — CI containers pin the suite to one core.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.perf import SHARD_SCALING_MIN_SPEEDUP, _measure_shard_scaling
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return _measure_shard_scaling(quick=False)
+
+
+class TestShardScalingCurve:
+    def test_every_parallel_run_merges_byte_identical(self, scaling):
+        assert scaling["trace_identical"]
+        for name, run in scaling["runs"].items():
+            assert run["trace_identical"], name
+
+    def test_capacity_speedup_clears_the_acceptance_floor(self, scaling):
+        four = scaling["runs"]["shards=4"]
+        assert four["capacity_speedup"] >= SHARD_SCALING_MIN_SPEEDUP, (
+            f"shards=4 capacity speedup {four['capacity_speedup']}x "
+            f"below the {SHARD_SCALING_MIN_SPEEDUP}x floor "
+            f"(rollbacks={four['rollbacks']}, "
+            f"rolled_back={four['rolled_back_events']})")
+
+    def test_curve_rises_with_shard_count(self, scaling):
+        two = scaling["runs"]["shards=2"]
+        four = scaling["runs"]["shards=4"]
+        assert four["capacity_speedup"] > two["capacity_speedup"]
+
+    def test_rollbacks_stay_a_small_fraction(self, scaling):
+        """Speculation must pay for itself: rolled-back (re-executed)
+        events stay well below the total executed once per run."""
+        total = scaling["ops"]
+        for name, run in scaling["runs"].items():
+            assert run["rolled_back_events"] < total, name
+
+    def test_print_the_curve(self, scaling):
+        print()
+        print(f"shard_scaling: baseline "
+              f"{scaling['baseline_ops_per_sec']:,.0f} events/cpu-s, "
+              f"work shares {scaling['work_shares']}")
+        for name, run in scaling["runs"].items():
+            print(f"  {name}: {run['events_per_cpu_sec']:,.0f} "
+                  f"events/cpu-s ({run['capacity_speedup']}x), "
+                  f"{run['rounds']} rounds, "
+                  f"{run['rollbacks']} rollbacks "
+                  f"({run['rolled_back_events']} events replayed), "
+                  f"wall {run['wall_seconds']}s")

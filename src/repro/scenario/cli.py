@@ -2,16 +2,20 @@
 
 The command surface of the scenario DSL and the trace oracle:
 
-* ``scenario run <file.toml> [--shards N]`` — compile and execute a
-  scenario file, printing its report;
+* ``scenario run <file.toml> [--shards N] [--parallel]`` — compile and
+  execute a scenario file, printing its report (``--parallel`` runs the
+  shards on spawned worker processes);
 * ``scenario validate <file.toml>`` — schema-check only;
 * ``scenario list`` / ``scenario dump <name>`` — the shipped canonical
   library (``dump`` prints the exact TOML the repo ships);
-* ``trace record <file.toml> [-o out.jsonl] [--compat] [--shards N]``
-  — run a scenario and persist its full kernel event stream;
-* ``trace replay <trace.jsonl> [--compat] [--shards N]`` — re-run the
-  embedded scenario against the selected build and diff the streams
-  (exit 1 on divergence: the CI regression gate);
+* ``trace record <file.toml> [-o out.jsonl] [--compat] [--shards N]
+  [--parallel]`` — run a scenario and persist its full kernel event
+  stream (``.jsonl.gz`` outputs are gzipped deterministically);
+* ``trace replay <trace.jsonl> [--compat] [--shards N] [--parallel]``
+  — re-run the embedded scenario against the selected build and diff
+  the streams (exit 1 on divergence: the CI regression gate); on
+  success the verdict names the exact build-flag/shard combination
+  that was replayed;
 * ``trace diff <a.jsonl> <b.jsonl>`` — structural diff of two trace
   files with a first-divergence report.
 """
@@ -28,9 +32,11 @@ from repro.scenario.schema import (
     dump_scenario,
     load_scenario,
 )
+from repro.util.errors import KernelError
 from repro.sim.trace import (
     BuildFlags,
     TraceError,
+    build_description,
     diff_traces,
     load_trace,
     record_scenario,
@@ -88,21 +94,31 @@ def _parse_shards(args: list[str]) -> int | None:
 def scenario_main(argv: list[str]) -> int:
     """Entry point of the ``scenario`` subcommand."""
     usage = ("usage: python -m repro scenario "
-             "{run <file.toml> [--shards N] | validate <file.toml> | "
-             "list | dump <name>}")
+             "{run <file.toml> [--shards N] [--parallel] | "
+             "validate <file.toml> | list | dump <name>}")
     try:
         if not argv:
             print(usage)
             return 2
         command, rest = argv[0], list(argv[1:])
         if command == "run":
+            parallel = _pop_flag(rest, "--parallel")
             shards = _parse_shards(rest)
             if len(rest) != 1:
                 print(usage)
                 return 2
             config = load_scenario(rest[0])
-            report = compile_scenario(config).run(shards=shards)
-            _print_report(config.name, report)
+            if parallel or config.parallel:
+                from repro.sim.parallel import run_scenario_replicated
+
+                result = run_scenario_replicated(config, shards=shards)
+                _print_report(config.name, result.stats["report"])
+                print(f"parallel: {result.stats['workers']} worker "
+                      f"processes over {result.stats['shards']} "
+                      f"shards, {result.executed} events merged")
+            else:
+                report = compile_scenario(config).run(shards=shards)
+                _print_report(config.name, report)
             return 0
         if command == "validate":
             if len(rest) != 1:
@@ -130,7 +146,7 @@ def scenario_main(argv: list[str]) -> int:
             return 0
         print(usage)
         return 2
-    except ScenarioError as exc:
+    except (ScenarioError, KernelError) as exc:
         print(f"scenario error: {exc}", file=sys.stderr)
         return 2
 
@@ -138,9 +154,10 @@ def scenario_main(argv: list[str]) -> int:
 def trace_main(argv: list[str]) -> int:
     """Entry point of the ``trace`` subcommand."""
     usage = ("usage: python -m repro trace "
-             "{record <file.toml> [-o out.jsonl] [--compat] "
-             "[--shards N] | replay <trace.jsonl> [--compat] "
-             "[--shards N] | diff <a.jsonl> <b.jsonl>}")
+             "{record <file.toml> [-o out.jsonl[.gz]] [--compat] "
+             "[--shards N] [--parallel] | replay <trace.jsonl> "
+             "[--compat] [--shards N] [--parallel] | "
+             "diff <a.jsonl> <b.jsonl>}")
     try:
         if not argv:
             print(usage)
@@ -148,6 +165,7 @@ def trace_main(argv: list[str]) -> int:
         command, rest = argv[0], list(argv[1:])
         if command == "record":
             compat = _pop_flag(rest, "--compat")
+            parallel = _pop_flag(rest, "--parallel") or None
             shards = _parse_shards(rest)
             out = _pop_option(rest, "-o") or _pop_option(rest, "--out")
             if len(rest) != 1:
@@ -155,7 +173,8 @@ def trace_main(argv: list[str]) -> int:
                 return 2
             config = load_scenario(rest[0])
             flags = BuildFlags.compat() if compat else BuildFlags()
-            trace = record_scenario(config, flags=flags, shards=shards)
+            trace = record_scenario(config, flags=flags, shards=shards,
+                                    parallel=parallel)
             if out is None:
                 out = f"{config.name}.trace.jsonl"
             save_trace(trace, out)
@@ -164,14 +183,23 @@ def trace_main(argv: list[str]) -> int:
             return 0
         if command == "replay":
             compat = _pop_flag(rest, "--compat")
+            parallel = _pop_flag(rest, "--parallel")
             shards = _parse_shards(rest)
             if len(rest) != 1:
                 print(usage)
                 return 2
             trace = load_trace(rest[0])
-            flags = BuildFlags.compat() if compat else None
-            diff = replay_trace(trace, flags=flags, shards=shards)
+            flags = BuildFlags.compat() if compat \
+                else BuildFlags.from_dict(trace.meta.get("flags", {}))
+            if shards is None:
+                shards = int(trace.meta.get("shards", 1))
+            if not parallel:
+                parallel = bool(trace.meta.get("parallel", False))
+            diff = replay_trace(trace, flags=flags, shards=shards,
+                                parallel=parallel)
             print(diff.render())
+            if diff.identical:
+                print(f"SUCCESS [{build_description(flags, shards, parallel)}]")
             return 0 if diff.identical else 1
         if command == "diff":
             if len(rest) != 2:
@@ -182,6 +210,6 @@ def trace_main(argv: list[str]) -> int:
             return 0 if diff.identical else 1
         print(usage)
         return 2
-    except (ScenarioError, TraceError) as exc:
+    except (ScenarioError, TraceError, KernelError) as exc:
         print(f"trace error: {exc}", file=sys.stderr)
         return 2

@@ -154,7 +154,7 @@ class CompiledScenario:
             on_kernel: Callable[[Kernel], None] | None = None) -> Any:
         """Execute the scenario and return its report.
 
-        *shards* overrides the config's ``[scenario].shards`` (the
+        *shards* overrides the config's ``[kernel].shards`` (the
         trace replayer uses this to re-execute a recorded run on a
         different kernel layout); *on_kernel* is invoked with the
         run's kernel as soon as it exists, before any event executes

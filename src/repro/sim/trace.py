@@ -13,12 +13,15 @@ stream into a first-class artifact:
   JSONL file** (one header object, then one ``[time, priority, seq,
   label]`` array per event) whose bytes are deterministic — committing
   a golden trace turns determinism into a *byte-level* regression
-  gate;
+  gate; a ``.jsonl.gz`` path transparently gzips the artifact (with a
+  zeroed mtime, so compressed goldens stay byte-deterministic too),
+  and loading auto-detects compression from the magic bytes;
 * :func:`replay_trace` re-runs the scenario embedded in a trace's
   header under any build/flag combination (:class:`BuildFlags`
   composes the ``kernel_fast_path`` / ``payload_fast_path`` /
-  ``lease_fast_path`` compat switches, and the shard count can be
-  overridden) and diffs the fresh stream against the recorded one;
+  ``lease_fast_path`` compat switches, and the shard count and the
+  multi-process ``parallel`` mode can be overridden) and diffs the
+  fresh stream against the recorded one;
 * :func:`diff_traces` reports the **first divergence** structurally —
   index, expected vs actual event, and the common context leading in —
   so a failed replay names the exact event where a refactor changed
@@ -31,6 +34,7 @@ was recorded from.
 
 from __future__ import annotations
 
+import gzip
 import json
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
@@ -138,7 +142,8 @@ class KernelTrace:
 def capture_trace(kernel: "Kernel",
                   scenario: dict[str, Any] | None = None,
                   flags: BuildFlags | None = None,
-                  shards: int = 1) -> KernelTrace:
+                  shards: int = 1,
+                  parallel: bool = False) -> KernelTrace:
     """Snapshot *kernel*'s executed event stream as a trace artifact."""
     if not kernel.trace_events and not kernel.event_log:
         raise TraceError("kernel ran with trace_events=False — there "
@@ -149,33 +154,56 @@ def capture_trace(kernel: "Kernel",
         "scenario": scenario or {},
         "flags": (flags or BuildFlags()).as_dict(),
         "shards": shards,
+        "parallel": parallel,
         "events": len(events),
         "final_time": kernel.clock.now,
     }
     return KernelTrace(meta=meta, events=events)
 
 
+#: gzip member header magic — compression is detected from content,
+#: not the filename, so renamed artifacts still load
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def save_trace(trace: KernelTrace, path: str | Path) -> Path:
     """Write *trace* as deterministic JSONL (header line + one event
     per line).  Identical runs produce byte-identical files — the
-    byte-level half of the regression gate."""
+    byte-level half of the regression gate.  A ``.gz`` path gzips the
+    payload with ``mtime=0`` so the compressed bytes are deterministic
+    too."""
     path = Path(path)
     lines = [json.dumps(trace.meta, sort_keys=True,
                         separators=(",", ":"))]
     lines.extend(json.dumps(list(event), separators=(",", ":"))
                  for event in trace.events)
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+    if path.suffix == ".gz":
+        data = gzip.compress(data, mtime=0)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    path.write_bytes(data)
     return path
 
 
 def load_trace(path: str | Path) -> KernelTrace:
-    """Load a JSONL trace artifact, checking its format tag."""
+    """Load a JSONL trace artifact (plain or gzipped), checking its
+    format tag."""
     path = Path(path)
     try:
-        lines = path.read_text(encoding="utf-8").splitlines()
+        data = path.read_bytes()
     except OSError as exc:
         raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    if data[:2] == _GZIP_MAGIC:
+        try:
+            data = gzip.decompress(data)
+        except (OSError, EOFError) as exc:
+            raise TraceError(
+                f"{path}: corrupt gzip stream: {exc}") from exc
+    try:
+        lines = data.decode("utf-8").splitlines()
+    except UnicodeDecodeError as exc:
+        raise TraceError(
+            f"{path}: not a UTF-8 trace artifact: {exc}") from exc
     if not lines:
         raise TraceError(f"{path}: empty trace file")
     try:
@@ -300,13 +328,50 @@ def diff_traces(recorded: KernelTrace, replayed: KernelTrace,
 # record / replay orchestration (lazy scenario imports)
 # ---------------------------------------------------------------------------
 
+def build_description(flags: BuildFlags, shards: int,
+                      parallel: bool = False) -> str:
+    """One-line human summary of a build/shard combination — what the
+    CLI prints next to a replay verdict."""
+    on = [name for name, value in flags.as_dict().items() if value]
+    flag_part = "+".join(on) if on else "compat (all fast paths off)"
+    shard_part = f"shards={shards}"
+    if parallel:
+        shard_part += " parallel (multi-process)"
+    return f"build: {flag_part}; {shard_part}"
+
+
 def record_scenario(config: "ScenarioConfig",
                     flags: BuildFlags | None = None,
-                    shards: int | None = None) -> KernelTrace:
-    """Run *config* under *flags* and capture its full event stream."""
+                    shards: int | None = None,
+                    parallel: bool | None = None) -> KernelTrace:
+    """Run *config* under *flags* and capture its full event stream.
+
+    With ``parallel=True`` the scenario executes on spawned worker
+    processes (:func:`repro.sim.parallel.run_scenario_replicated`) and
+    the captured stream is the cross-process merge — recording *is*
+    the multi-process determinism check.
+    """
     from repro.scenario import compile_scenario
 
     flags = flags or BuildFlags()
+    if parallel is None:
+        parallel = config.parallel
+    if parallel:
+        from repro.sim.parallel import run_scenario_replicated
+
+        result = run_scenario_replicated(config, flags=flags,
+                                         shards=shards)
+        meta = {
+            "format": TRACE_FORMAT,
+            "scenario": config.as_tables(),
+            "flags": flags.as_dict(),
+            "shards": result.stats["shards"],
+            "parallel": True,
+            "events": len(result.events),
+            "final_time": result.final_time,
+        }
+        return KernelTrace(meta=meta,
+                           events=[tuple(e) for e in result.events])
     compiled = compile_scenario(config)
     captured: list[Any] = []
     with flags.apply():
@@ -323,12 +388,14 @@ def record_scenario(config: "ScenarioConfig",
 def replay_trace(trace: KernelTrace,
                  flags: BuildFlags | None = None,
                  shards: int | None = None,
+                 parallel: bool | None = None,
                  context: int = 3) -> TraceDiff:
     """Re-run the scenario embedded in *trace* and diff the streams.
 
-    *flags* / *shards* select the build combination to replay against
-    (default: the combination the trace was recorded under).  Returns
-    the structural diff; ``diff.identical`` is the regression gate.
+    *flags* / *shards* / *parallel* select the build combination to
+    replay against (default: the combination the trace was recorded
+    under).  Returns the structural diff; ``diff.identical`` is the
+    regression gate.
     """
     from repro.scenario.schema import validate_scenario
 
@@ -340,5 +407,8 @@ def replay_trace(trace: KernelTrace,
         flags = BuildFlags.from_dict(trace.meta.get("flags", {}))
     if shards is None:
         shards = int(trace.meta.get("shards", config.shards))
-    fresh = record_scenario(config, flags=flags, shards=shards)
+    if parallel is None:
+        parallel = bool(trace.meta.get("parallel", False))
+    fresh = record_scenario(config, flags=flags, shards=shards,
+                            parallel=parallel)
     return diff_traces(trace, fresh, context=context)

@@ -85,6 +85,11 @@ def render_delta(new: dict[str, Any],
                 f"scorecard speedup "
                 f"{acceptance.get('scorecard_speedup')}x "
                 f">= {acceptance.get('scorecard_min_speedup')}x")
+            if "shard_scaling_min_speedup" in acceptance:
+                gates.append(
+                    f"shard-scaling capacity "
+                    f"{acceptance.get('shard_scaling_speedup')}x "
+                    f">= {acceptance.get('shard_scaling_min_speedup')}x")
         if "determinism_ok" in acceptance:
             gates.append("determinism "
                          + ("ok" if acceptance["determinism_ok"]
