@@ -25,6 +25,7 @@ EXPECTED = {
     "payload_sizing",
     "scorecard_wall_clock",
     "shard_scaling",
+    "federation_scaling",
 }
 
 

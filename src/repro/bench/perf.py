@@ -40,6 +40,7 @@ from typing import Any, Callable
 
 from repro.net.network import Network
 from repro.net.rpc import TransactionalRpc
+from repro.repository.placement import federation_fast_path
 from repro.repository.repository import DesignDataRepository
 from repro.repository.schema import (
     AttributeDef,
@@ -108,6 +109,20 @@ SCORECARD_MIN_SPEEDUP = 1.5
 #: arc exists to remove), so 1.5x leaves honest room for rollback
 #: re-execution.
 SHARD_SCALING_MIN_SPEEDUP = 1.5
+
+#: acceptance ceiling (full mode only): per-batch cross-member commit
+#: cost at the largest federation sweep point divided by the cost at
+#: the smallest — the **flatness** of the member-count scaling curve.
+#: The placement index makes home resolution O(batch); the only
+#: member-count term left is building the federation itself, so the
+#: curve must stay flat within noise
+FEDERATION_FLATNESS_MAX = 1.3
+
+#: frontier window of the bounded-log run: the decision log
+#: auto-checkpoints every this-many completed batches, and its record
+#: count (sampled after every batch) must stay <= 2x this window no
+#: matter how many batches ever committed
+FEDERATION_LOG_WINDOW = 8
 
 
 def _nested_payload(entries: int = 48, rev: int = 0) -> dict[str, Any]:
@@ -485,6 +500,155 @@ def _measure_shard_scaling(quick: bool) -> dict[str, Any]:
     }
 
 
+def _measure_federation_scaling(quick: bool,
+                                repeats: int) -> dict[str, Any]:
+    """Per-batch cross-member commit cost as the federation grows.
+
+    The sweep holds the *work* constant — the same four active DAs,
+    pinned to the same four members, the same 16-version batch — and
+    grows only the **member count** around it.  Every batch's prepare/
+    decide/complete therefore touches exactly four members at every
+    sweep point; the only thing that used to scale with federation
+    size was the per-version home-resolution scan the placement index
+    removed.  The gate is *flatness*: seconds per batch at the largest
+    sweep point must stay within :data:`FEDERATION_FLATNESS_MAX` of
+    the smallest.  The compat baseline re-times the largest federation
+    with ``federation_fast_path(False)`` (the seed's scan per staged
+    version), and a separate bounded-log run proves the decision log's
+    checkpoint frontier keeps its record count inside 2x the
+    :data:`FEDERATION_LOG_WINDOW` across >= 3 truncation cycles —
+    ending with a coordinator crash + recovery over the truncated log.
+    """
+    from repro.repository.federation import FederatedRepository
+    from repro.txn.decision_log import GlobalDecisionLog
+
+    das = 4
+    per_da = 4
+    batches = 4 if quick else 10
+    counts = (4, 8) if quick else (4, 16, 64)
+
+    def build(members: int,
+              decision_log: GlobalDecisionLog | None = None):
+        ids = IdGenerator()
+        federation = FederatedRepository(
+            {f"site-{index}": DesignDataRepository(ids)
+             for index in range(members)},
+            decision_log=decision_log)
+        federation.register_dot(DesignObjectType("Cell", attributes=[
+            AttributeDef("name", AttributeKind.STRING),
+            AttributeDef("meta", AttributeKind.JSON),
+            AttributeDef("tree", AttributeKind.JSON),
+        ]))
+        heads: dict[str, str] = {}
+        for index in range(das):
+            da_id = f"da-{index}"
+            federation.assign(da_id, f"site-{index}")
+            federation.create_graph(da_id)
+            heads[da_id] = federation.checkin(
+                da_id, "Cell", _nested_payload(4, rev=0), ()).dov_id
+        return federation, heads
+
+    def run_batches(federation, heads, count: int,
+                    state: dict[str, int]) -> float:
+        """Stage+commit *count* batches; returns timed commit seconds
+        (staging happens outside the timed region — the benchmark
+        isolates the cross-member commit path)."""
+        elapsed = 0.0
+        for _ in range(count):
+            staged = []
+            for index in range(das):
+                da_id = f"da-{index}"
+                for _ in range(per_da):
+                    state["rev"] += 1
+                    dov = federation.stage_checkin(
+                        da_id, "Cell",
+                        _nested_payload(4, rev=state["rev"]),
+                        (heads[da_id],),
+                        created_at=float(state["rev"]))
+                    staged.append(dov.dov_id)
+            start = time.perf_counter()
+            committed = federation.commit_group(staged)
+            elapsed += time.perf_counter() - start
+            for dov in committed:
+                heads[dov.created_by] = dov.dov_id
+        return elapsed
+
+    def seconds_per_batch(members: int) -> float:
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            federation, heads = build(members)
+            elapsed = run_batches(federation, heads, batches,
+                                  {"rev": 0})
+            best = min(best, elapsed / batches)
+        return best
+
+    sweep = {members: seconds_per_batch(members) for members in counts}
+    smallest, largest = min(counts), max(counts)
+    flatness = round(sweep[largest] / sweep[smallest], 3) \
+        if sweep[smallest] else None
+    with federation_fast_path(False):
+        compat = seconds_per_batch(largest)
+    speedup = round(compat / sweep[largest], 2) \
+        if sweep[largest] else None
+
+    # -- bounded-log run: >= 3 checkpoint/truncation cycles, record
+    # count sampled after every batch, then a coordinator crash over
+    # the truncated log to prove recovery still resolves everything
+    window = FEDERATION_LOG_WINDOW
+    log = GlobalDecisionLog(checkpoint_interval=window)
+    federation, heads = build(smallest, decision_log=log)
+    state = {"rev": 0}
+    peak_records = 0
+    for _ in range(3 * window + 2):
+        run_batches(federation, heads, 1, state)
+        peak_records = max(peak_records, log.stats()["wal_records"])
+    log_stats = log.stats()
+    federation.crash_coordinator()
+    recovery = federation.recover_coordinator()
+    # the unforced completion tail may be lost with the coordinator;
+    # recovery re-settles those batches — what matters is that nothing
+    # stays incomplete afterwards
+    bounded = (peak_records <= 2 * window
+               and log_stats["truncations"] >= 3
+               and len(log.incomplete()) == 0)
+
+    batch_size = das * per_da
+    return {
+        "description":
+            "cross-member commit_group seconds/batch at fixed work "
+            f"({batch_size} versions over {das} pinned members) as "
+            "the federation grows — O(batch) placement-index "
+            "resolution vs the per-version member scan",
+        "ops": batches * batch_size,
+        "ops_per_sec": round(1.0 / sweep[largest], 2)
+        if sweep[largest] else None,
+        "metric": "ops_per_sec = cross-member batches/sec at the "
+                  "largest sweep point; flatness = largest-sweep "
+                  "cost / smallest-sweep cost (lower is flatter)",
+        "batch": batch_size,
+        "active_members": das,
+        "sweep": {f"members={members}": round(cost * 1000.0, 4)
+                  for members, cost in sweep.items()},
+        "sweep_unit": "ms per batch",
+        "flatness": flatness,
+        "flatness_max": FEDERATION_FLATNESS_MAX,
+        "baseline": f"member-scan resolution at {largest} members "
+                    "(federation_fast_path off)",
+        "baseline_ms_per_batch": round(compat * 1000.0, 4),
+        "speedup_vs_baseline": speedup,
+        "bounded_log": {
+            "window": window,
+            "batches": 3 * window + 2,
+            "peak_wal_records": peak_records,
+            "max_wal_records": 2 * window,
+            "truncations": log_stats["truncations"],
+            "forgotten_decisions": log_stats["forgotten_decisions"],
+            "recovery_settled": recovery["settled"],
+            "ok": bounded,
+        },
+    }
+
+
 def _environment() -> dict[str, Any]:
     """Host metadata stamped into the artifact: the context any reader
     of the capacity numbers needs (most of all the core count)."""
@@ -510,11 +674,17 @@ def _determinism_guard(quick: bool) -> dict[str, Any]:
     * **Shard guard** — under ``shards=2`` the interleaving across
       shards may differ, but the final scenario reports (states,
       makespans, counters) must equal the single-shard run's.
+    * **Federation guard** — the full T10 crash matrix must produce
+      identical reports with the placement index on and off
+      (``federation_fast_path(False)`` restores the seed's member
+      scans), and a federation directory rebuilt from the members
+      after a coordinator loss must equal the pre-crash directory.
     """
     from dataclasses import asdict
 
     from repro.bench.scenarios import (
         concurrent_delegation_scenario,
+        federated_commit_scenario,
         object_buffer_scenario,
         write_back_scenario,
     )
@@ -542,11 +712,28 @@ def _determinism_guard(quick: bool) -> dict[str, Any]:
     shard1 = storm_signature(ShardedKernel(SimClock(), shards=1)) \
         == storm_signature(Kernel(SimClock()))
 
+    def t10_matrix(fast: bool) -> dict[str, Any]:
+        with federation_fast_path(fast):
+            return {crash: asdict(federated_commit_scenario(crash=crash))
+                    for crash in ("none", "before", "after",
+                                  "coordinator")}
+
+    def directory_rebuild_identical() -> bool:
+        # seeded cross-member commits + a version left staged, then a
+        # coordinator loss: the index rebuilt from the members alone
+        # must equal the pre-crash snapshot on every surface
+        from repro.bench.scenarios import _federation_rebuild_check
+        return _federation_rebuild_check()
+
     checks = {
         "t7_trace_fast_vs_compat": fast_trace == compat_trace,
         "t7_trace_events": fast_trace[0],
         "shard1_storm_trace_identical": shard1,
         "t7_report_identical_shards2": fast_report == sharded_report,
+        "t10_report_identical_fast_vs_compat":
+            t10_matrix(True) == t10_matrix(False),
+        "federation_directory_rebuild_identical":
+            directory_rebuild_identical(),
     }
     if not quick:
         checks["t8_report_identical_shards2"] = \
@@ -697,6 +884,10 @@ def run_perf(quick: bool = False, repeats: int = 3,
     benchmarks["shard_scaling"] = _measure_shard_scaling(quick)
     scaling = benchmarks["shard_scaling"]
 
+    benchmarks["federation_scaling"] = \
+        _measure_federation_scaling(quick, repeats)
+    federation = benchmarks["federation_scaling"]
+
     determinism = _determinism_guard(quick)
     determinism["parallel_merge_trace_identical"] = \
         scaling["trace_identical"]
@@ -719,6 +910,9 @@ def run_perf(quick: bool = False, repeats: int = 3,
         "scorecard_speedup": card["speedup_vs_baseline"],
         "shard_scaling_min_speedup": SHARD_SCALING_MIN_SPEEDUP,
         "shard_scaling_speedup": scaling["speedup_vs_baseline"],
+        "federation_flatness_max": FEDERATION_FLATNESS_MAX,
+        "federation_flatness": federation["flatness"],
+        "federation_log_bounded": federation["bounded_log"]["ok"],
         "determinism_ok": determinism["ok"],
         #: quick mode shrinks op counts until timings say nothing, and
         #: its scorecard subset omits the kernel-bound T11 driver — the
@@ -729,6 +923,9 @@ def run_perf(quick: bool = False, repeats: int = 3,
           >= BUFFER_HIT_MIN_SPEEDUP
           and (flush["speedup_vs_baseline"] or 0.0)
           >= GROUP_FLUSH_MIN_SPEEDUP
+          # structural, not a timing: the checkpoint frontier must
+          # bound the decision log in quick mode too
+          and federation["bounded_log"]["ok"]
           and determinism["ok"])
     if not quick:
         ok = (ok
@@ -739,7 +936,9 @@ def run_perf(quick: bool = False, repeats: int = 3,
               and (card["speedup_vs_baseline"] or 0.0)
               >= SCORECARD_MIN_SPEEDUP
               and (scaling["speedup_vs_baseline"] or 0.0)
-              >= SHARD_SCALING_MIN_SPEEDUP)
+              >= SHARD_SCALING_MIN_SPEEDUP
+              and (federation["flatness"] or float("inf"))
+              <= FEDERATION_FLATNESS_MAX)
     acceptance["ok"] = ok
     report = {
         "schema": SCHEMA,
@@ -795,7 +994,13 @@ def render(report: dict[str, Any]) -> str:
             f"shard-scaling {acceptance['shard_scaling_speedup']:.2f}x "
             f">= {acceptance['shard_scaling_min_speedup']:.1f}x "
             f"capacity",
+            f"federation-flatness {acceptance['federation_flatness']:.2f}x "
+            f"<= {acceptance['federation_flatness_max']:.1f}x",
         ]
+    if "federation_log_bounded" in acceptance:
+        gates.append("federation-log "
+                     + ("bounded" if acceptance["federation_log_bounded"]
+                        else "UNBOUNDED"))
     lines.append("acceptance: " + ", ".join(gates) + " -> "
                  + ("OK" if acceptance["ok"] else "FAIL"))
     return "\n".join(lines)

@@ -847,8 +847,9 @@ class _CoordinatorCrash(RuntimeError):
 
 def federated_commit_scenario(crash: str = "none", members: int = 3,
                               batches: int = 4, crash_batch: int = 1,
-                              crash_member: int = 1,
-                              seed: int = 17) -> FederatedCommitReport:
+                              crash_member: int = 1, seed: int = 17,
+                              placement: str = "directory",
+                              ) -> FederatedCommitReport:
     """Cross-member ``commit_group`` under injected crashes.
 
     A federation of *members* repositories holds one DA per member;
@@ -873,6 +874,9 @@ def federated_commit_scenario(crash: str = "none", members: int = 3,
 
     All four runs must converge to the identical id-independent
     durable state — the all-or-nothing claim of the decision log.
+    *placement* selects the federation's DA-placement strategy
+    (irrelevant to the outcome here — every DA is pinned with
+    ``assign`` — but it lets the scenario exercise both index modes).
     """
     from repro.repository.federation import FederatedRepository
 
@@ -882,7 +886,7 @@ def federated_commit_scenario(crash: str = "none", members: int = 3,
     ids = IdGenerator()
     federation = FederatedRepository({
         f"site-{index}": DesignDataRepository(ids)
-        for index in range(members)})
+        for index in range(members)}, placement=placement)
     dot = DesignObjectType("Part", attributes=[
         AttributeDef("name", AttributeKind.STRING),
         AttributeDef("rev", AttributeKind.INT),
@@ -999,6 +1003,58 @@ def federated_commit_scenario(crash: str = "none", members: int = 3,
     report.forced_decision_writes = log.stats()["forced_writes"]
     report.directory_entries = federation.stats()["directory_entries"]
     return report
+
+
+def _federation_rebuild_check(members: int = 3, batches: int = 2,
+                              seed: int = 17) -> bool:
+    """Directory-rebuild equality: run a few cross-member batches plus
+    one version left staged, lose the coordinator (decision-log memory
+    + the whole placement index), recover from the members alone, and
+    compare every index surface against the pre-crash snapshot."""
+    from repro.repository.federation import FederatedRepository
+
+    ids = IdGenerator()
+    federation = FederatedRepository({
+        f"site-{index}": DesignDataRepository(ids)
+        for index in range(members)})
+    dot = DesignObjectType("Part", attributes=[
+        AttributeDef("name", AttributeKind.STRING),
+        AttributeDef("rev", AttributeKind.INT),
+        AttributeDef("weight", AttributeKind.FLOAT),
+    ])
+    federation.register_dot(dot)
+    current: dict[str, str] = {}
+    for index in range(members):
+        da_id = f"da-{index}"
+        federation.assign(da_id, f"site-{index}")
+        federation.create_graph(da_id)
+        dov = federation.checkin(
+            da_id, "Part", _part_payload(index, 0, seed), ())
+        current[da_id] = dov.dov_id
+    for rev in range(1, batches + 1):
+        staged = []
+        for index in range(members):
+            da_id = f"da-{index}"
+            dov = federation.stage_checkin(
+                da_id, "Part", _part_payload(index, rev, seed),
+                (current[da_id],), created_at=float(rev))
+            staged.append(dov.dov_id)
+        for dov in federation.commit_group(staged):
+            current[dov.created_by] = dov.dov_id
+    # one version stays staged across the crash: the rebuild must
+    # recover the staged-home index too, not just the directory
+    federation.stage_checkin("da-0", "Part",
+                             _part_payload(0, batches + 1, seed),
+                             (current["da-0"],),
+                             created_at=float(batches + 1))
+    before = federation.placement_index.stats()
+    directory_before = federation.directory_snapshot()
+    homes_before = federation.placement_index.homes()
+    federation.crash_coordinator()
+    federation.recover_coordinator()
+    return (federation.directory_snapshot() == directory_before
+            and federation.placement_index.homes() == homes_before
+            and federation.placement_index.stats() == before)
 
 
 def _part_payload(index: int, rev: int, seed: int) -> dict[str, Any]:

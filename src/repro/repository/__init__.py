@@ -11,6 +11,10 @@ from repro.repository.configurations import (
     ConfigurationManager,
 )
 from repro.repository.federation import FederatedRepository
+from repro.repository.placement import (
+    PlacementIndex,
+    federation_fast_path,
+)
 from repro.repository.repository import DesignDataRepository
 from repro.repository.schema import (
     AttributeDef,
@@ -36,7 +40,9 @@ __all__ = [
     "FederatedRepository",
     "LogRecord",
     "LogRecordKind",
+    "PlacementIndex",
     "VersionStore",
     "WriteAheadLog",
+    "federation_fast_path",
     "range_constraint",
 ]

@@ -13,12 +13,27 @@ interface the TM and CM consume, while placing each DA's derivation
 graph on one of several member repositories and routing reads through a
 global DOV directory.  The activity managers run unchanged on top of
 it — the property the paper predicts.
+
+Scale story (the production-federation arc): every home lookup —
+staged or durable — goes through the coordinator-side
+:class:`~repro.repository.placement.PlacementIndex`, so cross-member
+``commit_group`` resolution is O(batch) at any member count (the seed
+scanned every member's ``staged_ids()`` per version), reads stay O(1)
+at millions of DOVs, and after a coordinator or whole-site loss
+:meth:`recover_directory` rebuilds the entire index from the members'
+own WAL-recovered stores.  ``federation_fast_path(False)`` restores
+the seed's scan-based resolution for the byte-identical compat guard.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from repro.repository.placement import (
+    PlacementIndex,
+    federation_fast_path,  # noqa: F401  (re-export: the compat switch)
+    federation_fast_path_enabled,
+)
 from repro.repository.repository import DesignDataRepository
 from repro.repository.schema import DesignObjectType
 from repro.repository.versions import DerivationGraph, DesignObjectVersion
@@ -30,19 +45,21 @@ class FederatedRepository:
     """Several member repositories behind one repository interface.
 
     Placement: every DA is assigned to one member (explicitly via
-    :meth:`assign`, else round-robin at :meth:`create_graph` time); the
-    DA's derivation graph and all DOVs it checks in live there.  A
-    directory maps DOV ids to members so cross-member reads (usage
-    relationships!) are transparent.
+    :meth:`assign`, else by the index's strategy — round-robin under
+    ``placement="directory"``, a consistent-hash ring under
+    ``placement="hash"``); the DA's derivation graph and all DOVs it
+    checks in live there.  The placement index maps DOV ids (staged
+    and durable) to members so cross-member reads and commits are
+    transparent *and* member-count-independent.
     """
 
     def __init__(self, members: dict[str, DesignDataRepository],
-                 decision_log: GlobalDecisionLog | None = None) -> None:
+                 decision_log: GlobalDecisionLog | None = None,
+                 placement: str = "directory") -> None:
         if not members:
             raise ValueError("a federation needs at least one member")
         self._members = dict(members)
         self._member_order = list(members)
-        self._next_member = 0
         #: durable coordinator-side decision log: the commit point of
         #: every cross-member batch (presumed-abort recovery)
         self.decision_log = decision_log if decision_log is not None \
@@ -50,10 +67,9 @@ class FederatedRepository:
         self._next_gtxn = 0
         #: cross-member batches redone at member recovery
         self.redone_batches = 0
-        #: da_id -> member name
-        self._placement: dict[str, str] = {}
-        #: dov_id -> member name (global directory)
-        self._directory: dict[str, str] = {}
+        #: DA homes + staged-home map + durable directory, all O(1)
+        self.placement_index = PlacementIndex(self._member_order,
+                                              placement=placement)
         #: federation-level commit observer (lease invalidations);
         #: notices originate at the owning member and are routed up
         #: through the directory by :meth:`_member_committed`
@@ -80,21 +96,21 @@ class FederatedRepository:
     def assign(self, da_id: str, member: str) -> None:
         """Pin a DA's data to a specific member (before create_graph)."""
         self.member(member)
-        self._placement[da_id] = member
+        self.placement_index.assign(da_id, member)
 
     def placement_of(self, da_id: str) -> str:
         """The member holding a DA's derivation graph."""
-        try:
-            return self._placement[da_id]
-        except KeyError:
+        home = self.placement_index.home_of(da_id)
+        if home is None:
             raise UnknownObjectError(
-                f"DA {da_id!r} is not placed in the federation") from None
+                f"DA {da_id!r} is not placed in the federation")
+        return home
 
     def _home(self, da_id: str) -> DesignDataRepository:
         return self.member(self.placement_of(da_id))
 
     def _locate_dov(self, dov_id: str) -> DesignDataRepository:
-        member = self._directory.get(dov_id)
+        member = self.placement_index.locate(dov_id)
         if member is None:
             raise UnknownObjectError(
                 f"DOV {dov_id!r} not in the federation directory")
@@ -102,18 +118,24 @@ class FederatedRepository:
 
     def owner_of(self, dov_id: str) -> str:
         """Name of the member holding a durable DOV (directory lookup)."""
-        member = self._directory.get(dov_id)
+        member = self.placement_index.locate(dov_id)
         if member is None:
             raise UnknownObjectError(
                 f"DOV {dov_id!r} not in the federation directory")
         return member
 
+    def directory_snapshot(self) -> dict[str, str]:
+        """Copy of the durable DOV directory — what the rebuild-equality
+        checks (and the crash-matrix tests) compare against."""
+        return self.placement_index.directory_snapshot()
+
     def _member_committed(self, member: str,
                           dov: DesignObjectVersion) -> None:
-        """A member made *dov* durable: register it in the directory
-        and route the commit notice (lease invalidations!) from the
-        owning member up to the federation-level observer."""
-        self._directory[dov.dov_id] = member
+        """A member made *dov* durable: move it from the staged-home
+        map into the directory and route the commit notice (lease
+        invalidations!) from the owning member up to the
+        federation-level observer."""
+        self.placement_index.commit_durable(dov.dov_id, member)
         if self.on_commit is not None:
             self.on_commit(dov)
 
@@ -138,12 +160,9 @@ class FederatedRepository:
     # -- graphs ---------------------------------------------------------------------
 
     def create_graph(self, da_id: str) -> DerivationGraph:
-        """Open a DA's graph on its (assigned or round-robin) member."""
-        if da_id not in self._placement:
-            member = self._member_order[self._next_member
-                                        % len(self._member_order)]
-            self._next_member += 1
-            self._placement[da_id] = member
+        """Open a DA's graph on its (assigned or strategy-placed)
+        member."""
+        self.placement_index.place(da_id)
         return self._home(da_id).create_graph(da_id)
 
     def graph(self, da_id: str) -> DerivationGraph:
@@ -152,7 +171,7 @@ class FederatedRepository:
 
     def has_graph(self, da_id: str) -> bool:
         """True when some member holds a graph for *da_id*."""
-        if da_id not in self._placement:
+        if self.placement_index.home_of(da_id) is None:
             return False
         return self._home(da_id).has_graph(da_id)
 
@@ -165,7 +184,7 @@ class FederatedRepository:
     def describe(self, dov_id: str) -> dict[str, Any]:
         """Directory-routed shipping metadata (size + version stamp)."""
         description = self._locate_dov(dov_id).describe(dov_id)
-        description["member"] = self._directory[dov_id]
+        description["member"] = self.placement_index.locate(dov_id)
         return description
 
     def describe_many(self, dov_ids: list[str]
@@ -178,7 +197,7 @@ class FederatedRepository:
         """
         descriptions: dict[str, dict[str, Any]] = {}
         for dov_id in dov_ids:
-            member = self._directory.get(dov_id)
+            member = self.placement_index.locate(dov_id)
             if member is not None \
                     and dov_id in self._members[member]:
                 descriptions[dov_id] = self.describe(dov_id)
@@ -192,10 +211,10 @@ class FederatedRepository:
         invalidation targets too, which a single member could never
         determine from its own store.
         """
-        return [p for p in dov.parents if p in self._directory]
+        return [p for p in dov.parents if p in self.placement_index]
 
     def __contains__(self, dov_id: str) -> bool:
-        member = self._directory.get(dov_id)
+        member = self.placement_index.locate(dov_id)
         return member is not None and dov_id in self._members[member]
 
     # -- checkin ---------------------------------------------------------------------
@@ -207,13 +226,16 @@ class FederatedRepository:
 
         Cross-member parents are legitimate (usage-relationship
         inputs): they are checked against the directory instead of the
-        home member's store.
+        home member's store.  The staged version's home is recorded in
+        the placement index — the O(1) entry every later commit/abort
+        resolution reads instead of scanning members.
         """
-        home = self._home(da_id)
+        home_name = self.placement_of(da_id)
+        home = self.member(home_name)
         local_parents = tuple(p for p in parents if p in home.store)
         foreign_parents = [p for p in parents if p not in home.store]
         for parent in foreign_parents:
-            if parent not in self._directory:
+            if parent not in self.placement_index:
                 raise UnknownObjectError(
                     f"parent DOV {parent!r} unknown to the federation")
         dov = home.stage_checkin(da_id, dot_name, data, local_parents,
@@ -225,22 +247,64 @@ class FederatedRepository:
                 dov.created_at, tuple(parents))
             home.store.replace_staged(patched)
             dov = patched
+        self.placement_index.stage(dov.dov_id, home_name)
         return dov
+
+    def _staged_home_of(self, dov_id: str) -> str | None:
+        """Home member of a staged version: indexed O(1) on the fast
+        path, the seed's every-member scan on the compat path."""
+        if federation_fast_path_enabled():
+            return self.placement_index.staged_home(dov_id)
+        for name, repo in self._members.items():
+            if dov_id in repo.store.staged_ids():
+                return name
+        return None
 
     def commit_checkin(self, dov_id: str) -> DesignObjectVersion:
         """Commit on the member that staged it; update the directory."""
-        for name, repo in self._members.items():
-            if dov_id in repo.store.staged_ids():
-                dov = repo.commit_checkin(dov_id)
-                self._directory[dov_id] = name
-                return dov
-        raise UnknownObjectError(
-            f"no staged checkin for DOV {dov_id!r} in any member")
+        name = self._staged_home_of(dov_id)
+        if name is None:
+            raise UnknownObjectError(
+                f"no staged checkin for DOV {dov_id!r} in any member")
+        # the member's commit observer moves the id from the
+        # staged-home map into the durable directory
+        return self._members[name].commit_checkin(dov_id)
 
     def abort_checkin(self, dov_id: str) -> bool:
         """Abort wherever the version was staged."""
+        if federation_fast_path_enabled():
+            name = self.placement_index.unstage(dov_id)
+            if name is None:
+                return False
+            return self._members[name].abort_checkin(dov_id)
+        self.placement_index.unstage(dov_id)
         return any(repo.abort_checkin(dov_id)
                    for repo in self._members.values())
+
+    def _resolve_batch_homes(self, dov_ids: list[str]) -> dict[str, str]:
+        """Map every staged id of a batch to its home member.
+
+        O(batch) on the fast path — one index lookup per id, zero
+        member scans.  An unresolvable id aborts the whole batch
+        (presumed abort): the portions already resolved are un-staged
+        so nothing dangles, and the error names any down member.
+        """
+        homes: dict[str, str] = {}
+        for dov_id in dov_ids:
+            name = self._staged_home_of(dov_id)
+            if name is None:
+                for placed_id in homes:
+                    self.abort_checkin(placed_id)
+                down = [name for name, repo in self._members.items()
+                        if not repo.store.is_up]
+                if down:
+                    raise StorageError(
+                        f"DOV {dov_id!r} unresolvable with member(s) "
+                        f"{down} down: batch aborted")
+                raise UnknownObjectError(
+                    f"no staged checkin for DOV {dov_id!r} in any member")
+            homes[dov_id] = name
+        return homes
 
     def commit_group(self, dov_ids: list[str]) -> list[DesignObjectVersion]:
         """Commit a staged group atomically, *across* members.
@@ -262,30 +326,15 @@ class FederatedRepository:
            the log and redoes its portion deterministically, so the
            batch is all-or-nothing even under member crashes.
 
-        Returns the versions that became durable *now*, in batch
-        order; portions pending redo at a crashed member are absent
-        until its recovery completes them.  ``on_commit`` notices fire
-        per version in batch order, routed through the directory.
+        Home resolution costs O(batch) via the placement index — the
+        cost of a cross-member commit is independent of how many
+        members the federation has.  Returns the versions that became
+        durable *now*, in batch order; portions pending redo at a
+        crashed member are absent until its recovery completes them.
+        ``on_commit`` notices fire per version in batch order, routed
+        through the directory.
         """
-        homes: dict[str, str] = {}
-        for dov_id in dov_ids:
-            for name, repo in self._members.items():
-                if dov_id in repo.store.staged_ids():
-                    homes[dov_id] = name
-                    break
-            else:
-                # presumed abort: the batch cannot form — un-stage the
-                # portions already resolved so nothing dangles
-                for placed_id, name in homes.items():
-                    self._members[name].abort_checkin(placed_id)
-                down = [name for name, repo in self._members.items()
-                        if not repo.store.is_up]
-                if down:
-                    raise StorageError(
-                        f"DOV {dov_id!r} unresolvable with member(s) "
-                        f"{down} down: batch aborted")
-                raise UnknownObjectError(
-                    f"no staged checkin for DOV {dov_id!r} in any member")
+        homes = self._resolve_batch_homes(dov_ids)
         manifest = {name: [i for i in dov_ids if homes[i] == name]
                     for name in dict.fromkeys(homes.values())}
         self._next_gtxn += 1
@@ -293,12 +342,22 @@ class FederatedRepository:
 
         if len(manifest) == 1:
             # single-member batch: the member's own atomic commit is
-            # the whole protocol — no global decision needed
+            # the whole protocol — no global decision needed.  The
+            # member must be checked for availability first: a down
+            # member here is a presumed abort (its staged portion died
+            # with the crash), not a raw low-level storage fault
             (name, member_ids), = manifest.items()
+            member = self._members[name]
+            if not member.store.is_up:
+                for dov_id in member_ids:
+                    self.placement_index.unstage(dov_id)
+                raise StorageError(
+                    f"member {name!r} down: single-member batch "
+                    f"{gtxn_id!r} aborted (presumed abort, nothing "
+                    f"was logged)")
             committed = {}
-            for dov in self._members[name].commit_group(member_ids):
+            for dov in member.commit_group(member_ids):
                 committed[dov.dov_id] = dov
-                self._directory.setdefault(dov.dov_id, name)
             return [committed[dov_id] for dov_id in dov_ids]
 
         self._prepare_batch(gtxn_id, manifest)
@@ -317,12 +376,21 @@ class FederatedRepository:
                 self._members[name].prepare_group(gtxn_id, member_ids)
             except StorageError as exc:
                 # presumed abort: no decision record exists, so the
-                # batch aborts everywhere — survivors discard their
-                # staged portions; the down member's staging was
-                # volatile and died with it
-                for done in prepared:
-                    self._members[done].forget_group(gtxn_id,
-                                                     manifest[done])
+                # batch aborts everywhere — every live member discards
+                # its staged portion (prepared or not); the down
+                # member's staging was volatile and died with it
+                for other, other_ids in manifest.items():
+                    if other == name:
+                        for dov_id in other_ids:
+                            self.placement_index.unstage(dov_id)
+                        continue
+                    if other in prepared:
+                        self._members[other].forget_group(gtxn_id,
+                                                          other_ids)
+                    else:
+                        self._members[other].abort_group(other_ids)
+                    for dov_id in other_ids:
+                        self.placement_index.unstage(dov_id)
                 raise StorageError(
                     f"member {name!r} down during prepare of "
                     f"{gtxn_id!r}: batch aborted") from exc
@@ -344,7 +412,6 @@ class FederatedRepository:
                 continue
             for dov in dovs:
                 committed[dov.dov_id] = dov
-                self._directory.setdefault(dov.dov_id, name)
         if not pending_member:
             self.decision_log.mark_complete(gtxn_id)
         return committed
@@ -380,7 +447,8 @@ class FederatedRepository:
                     done = False  # member still down: retried later
                     continue
                 for dov in dovs:
-                    self._directory.setdefault(dov.dov_id, name)
+                    self.placement_index.commit_durable(dov.dov_id,
+                                                        name)
             if done:
                 self.decision_log.mark_complete(gtxn_id)
                 settled += 1
@@ -401,8 +469,13 @@ class FederatedRepository:
     # -- failure ---------------------------------------------------------------------
 
     def crash_member(self, name: str) -> dict[str, int]:
-        """Crash one member; the others keep serving."""
-        return self.member(name).crash()
+        """Crash one member; the others keep serving.  The member's
+        staged versions were volatile, so their staged-home index
+        entries are dropped with it."""
+        report = self.member(name).crash()
+        report["staged_index_dropped"] = \
+            self.placement_index.drop_member_staged(name)
+        return report
 
     def recover_member(self, name: str) -> dict[str, int]:
         """Recover one member from its own WAL, then settle its
@@ -429,7 +502,8 @@ class FederatedRepository:
         for gtxn_id in member.in_doubt_groups():
             if self.decision_log.resolve(gtxn_id) is Decision.COMMIT:
                 for dov in member.redo_group(gtxn_id):
-                    self._directory.setdefault(dov.dov_id, name)
+                    self.placement_index.commit_durable(dov.dov_id,
+                                                        name)
                 redone += 1
                 self.redone_batches += 1
                 if self._batch_settled(gtxn_id):
@@ -457,35 +531,115 @@ class FederatedRepository:
         with :class:`DesignDataRepository`).
 
         The coordinator state crashes too: the decision log loses its
-        in-memory maps and its un-forced tail (completion markers);
-        the forced decision records are what recovery rebuilds from.
+        in-memory maps and its un-forced tail (completion markers),
+        and the **entire placement index** — DA homes, staged-home
+        map, DOV directory — vanishes with the coordinator.  The
+        forced log records at the members and the coordinator are what
+        recovery rebuilds from; nothing assumes the in-memory
+        directory survives.
         """
         totals: dict[str, int] = {}
-        for repo in self._members.values():
-            for key, value in repo.crash().items():
+        for name in self._member_order:
+            for key, value in self.crash_member(name).items():
                 totals[key] = totals.get(key, 0) + value
         totals["decision_tail_lost"] = self.decision_log.crash()
+        totals["directory_entries_lost"] = len(
+            self.placement_index.directory_snapshot())
+        self.placement_index.clear()
         return totals
 
     def recover(self) -> dict[str, int]:
-        """Recover every member from its own WAL, then settle every
-        in-doubt cross-member batch against the decision log (itself
-        rebuilt from its forced records first)."""
+        """Recover every member from its own WAL, settle every in-doubt
+        cross-member batch against the decision log (itself rebuilt
+        from its forced records first), then rebuild the placement
+        index from the members' recovered stores."""
         totals: dict[str, int] = {
             "decisions_recovered": self.decision_log.recover()}
         for name in self._member_order:
             for key, value in self.recover_member(name).items():
                 totals[key] = totals.get(key, 0) + value
+        totals["directory_entries_rebuilt"] = \
+            self.recover_directory()["directory_entries"]
         return totals
+
+    def crash_coordinator(self) -> dict[str, int]:
+        """Coordinator-only loss: the members keep serving, but the
+        decision log's memory + un-forced tail and the whole placement
+        index vanish.  :meth:`recover_coordinator` is the restart."""
+        report = {
+            "decision_tail_lost": self.decision_log.crash(),
+            "directory_entries_lost": len(
+                self.placement_index.directory_snapshot()),
+        }
+        self.placement_index.clear()
+        return report
+
+    def recover_coordinator(self) -> dict[str, int]:
+        """Coordinator restart: rebuild the decision log from its
+        forced records, the placement index from the members' stores
+        (:meth:`recover_directory`), then finish every logged-but-
+        incomplete decision (:meth:`resolve_incomplete`)."""
+        totals = {"decisions_recovered": self.decision_log.recover()}
+        totals.update(self.recover_directory())
+        totals["settled"] = self.resolve_incomplete()
+        return totals
+
+    def recover_directory(self) -> dict[str, int]:
+        """Rebuild the placement index from the members themselves.
+
+        The index is a volatile cache of durable member truth: DA
+        homes come from each member's (WAL-recovered) derivation
+        graphs, directory entries from its durable store, staged-home
+        entries from its staged set.  A member that is still down
+        contributes whatever the surviving index already knew about it
+        (its WAL will refresh those entries when it recovers); pins
+        made by :meth:`assign` before ``create_graph`` are volatile by
+        design and do not survive a coordinator loss.
+
+        Returns rebuild counters; callers that want the equality
+        guarantee compare :meth:`directory_snapshot` before and after.
+        """
+        homes: dict[str, str] = {}
+        staged: dict[str, str] = {}
+        directory: dict[str, str] = {}
+        down = 0
+        for name in self._member_order:
+            member = self._members[name]
+            if not member.store.is_up:
+                down += 1
+                for da_id, home in self.placement_index.homes().items():
+                    if home == name:
+                        homes[da_id] = home
+                for dov_id, home in \
+                        self.placement_index.directory_snapshot().items():
+                    if home == name:
+                        directory[dov_id] = home
+                continue
+            for da_id in member.graph_ids():
+                homes[da_id] = name
+            for dov in member.store:
+                directory[dov.dov_id] = name
+            for dov_id in member.store.staged_ids():
+                staged[dov_id] = name
+        self.placement_index.restore(homes, staged, directory)
+        return {
+            "placements": len(homes),
+            "staged_index": len(staged),
+            "directory_entries": len(directory),
+            "members_down": down,
+        }
 
     # -- stats -----------------------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
         """Federation-wide statistics."""
+        index = self.placement_index.stats()
         return {
             "members": len(self._members),
-            "placements": len(self._placement),
-            "directory_entries": len(self._directory),
+            "placement": index["placement"],
+            "placements": index["placements"],
+            "staged_index": index["staged_index"],
+            "directory_entries": index["directory_entries"],
             "decision_log": self.decision_log.stats(),
             "redone_batches": self.redone_batches,
             "per_member": {name: repo.stats()

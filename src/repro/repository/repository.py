@@ -101,6 +101,12 @@ class DesignDataRepository:
         """True when *da_id* owns a derivation graph."""
         return da_id in self._graphs
 
+    def graph_ids(self) -> list[str]:
+        """DAs owning a derivation graph here — what a federation
+        coordinator reads to rebuild DA placement after losing its
+        in-memory index."""
+        return list(self._graphs)
+
     # ------------------------------------------------------------------ reads
 
     def read(self, dov_id: str) -> DesignObjectVersion:

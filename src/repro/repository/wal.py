@@ -68,6 +68,10 @@ class WriteAheadLog:
     def __init__(self, name: str = "wal") -> None:
         self.name = name
         self._stable: list[LogRecord] = []
+        #: stable records bucketed by kind — recovery scans ask for one
+        #: kind at a time, and a full-log filter per query is wasted
+        #: work once logs grow past checkpoint windows
+        self._stable_by_kind: dict[LogRecordKind, list[LogRecord]] = {}
         self._volatile: list[LogRecord] = []
         self._next_lsn = 1
         #: number of force() calls that actually flushed something
@@ -112,6 +116,9 @@ class WriteAheadLog:
         flushed = len(self._volatile)
         if flushed:
             self._stable.extend(self._volatile)
+            for record in self._volatile:
+                self._stable_by_kind.setdefault(record.kind,
+                                                []).append(record)
             self._volatile.clear()
             self.forced_writes += 1
         return flushed
@@ -133,10 +140,15 @@ class WriteAheadLog:
 
     def stable_records(self,
                        kind: LogRecordKind | None = None) -> list[LogRecord]:
-        """The crash-surviving prefix, optionally filtered by kind."""
+        """The crash-surviving prefix, optionally filtered by kind.
+
+        By-kind queries read a maintained per-kind bucket instead of
+        filtering the whole log, so recovery scans stay proportional
+        to the records they actually consume.
+        """
         if kind is None:
             return list(self._stable)
-        return [r for r in self._stable if r.kind is kind]
+        return list(self._stable_by_kind.get(kind, ()))
 
     def all_records(self) -> list[LogRecord]:
         """Stable prefix plus volatile tail (pre-crash view)."""
@@ -155,4 +167,8 @@ class WriteAheadLog:
         """
         before = len(self._stable)
         self._stable = [r for r in self._stable if r.lsn > up_to_lsn]
+        self._stable_by_kind = {}
+        for record in self._stable:
+            self._stable_by_kind.setdefault(record.kind,
+                                            []).append(record)
         return before - len(self._stable)

@@ -130,12 +130,42 @@ def _run_campaign(config: ScenarioConfig, shards: int,
         on_kernel=on_kernel)
 
 
+def _run_federated_commit(config: ScenarioConfig, shards: int,
+                          on_kernel: Callable[[Kernel], None] | None
+                          ) -> Any:
+    """The T10 crash matrix as a scenario: every crash placement of
+    the federated atomic commit on one config, plus the
+    all-or-nothing verdict.  The federation runs outside the kernel
+    (its crashes are injected directly), so *shards*/*on_kernel* have
+    nothing to hook."""
+    from dataclasses import asdict
+
+    from repro.bench.scenarios import federated_commit_scenario
+
+    reports = {
+        crash: asdict(federated_commit_scenario(
+            crash=crash,
+            members=config.get("federation", "members"),
+            batches=config.get("federation", "batches"),
+            seed=config.seed,
+            placement=config.get("federation", "placement")))
+        for crash in ("none", "before", "after", "coordinator")}
+    states = {crash: report["state"]
+              for crash, report in reports.items()}
+    return {
+        "crashes": reports,
+        "states_identical":
+            len({tuple(state) for state in states.values()}) == 1,
+    }
+
+
 #: kind -> runner adapter (the compiler's whole dispatch table)
 KIND_RUNNERS: dict[str, Callable[..., Any]] = {
     "object_buffers": _run_object_buffers,
     "write_back": _run_write_back,
     "concurrent_delegation": _run_concurrent_delegation,
     "campaign": _run_campaign,
+    "federated_commit": _run_federated_commit,
 }
 
 
@@ -240,6 +270,19 @@ def canonical_scenarios() -> dict[str, ScenarioConfig]:
             "locality": {"reads_per_step": 2, "reread": 0.6},
             "writes": {"ratio": 0.6, "write_back": False},
             "crashes": {"server_restart": True},
+        }),
+        "t10_federated_commit": validate_scenario({
+            "scenario": {
+                "name": "t10-federated-commit",
+                "kind": "federated_commit",
+                "description": "T10 crash matrix: cross-member "
+                               "batches under member/coordinator "
+                               "crashes converge to one durable "
+                               "state",
+                "seed": 17,
+            },
+            "federation": {"members": 3, "placement": "directory",
+                           "batches": 4},
         }),
         "campaign_design_week": validate_scenario({
             "scenario": {

@@ -41,7 +41,8 @@ class ScenarioError(ConcordError):
 
 #: the scenario kinds the compiler knows (see repro.scenario.compiler)
 SCENARIO_KINDS = ("object_buffers", "write_back",
-                  "concurrent_delegation", "campaign")
+                  "concurrent_delegation", "campaign",
+                  "federated_commit")
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,18 @@ SCENARIO_SCHEMA: dict[str, dict[str, _Key]] = {
     "leases": {
         "ttl": _Key(float, 0.0, lo=0.0,
                     doc="TTL-renewal leases (0 = recall-only)"),
+    },
+    "federation": {
+        "members": _Key(int, 1, lo=1,
+                        doc="member repositories "
+                            "(federated_commit only, >= 2 there)"),
+        "placement": _Key(str, "directory",
+                          choices=("directory", "hash"),
+                          doc="DA placement: explicit/round-robin "
+                              "directory vs consistent-hash ring"),
+        "batches": _Key(int, 4, lo=1,
+                        doc="cross-member commit batches per crash "
+                            "case"),
     },
     "crashes": {
         "schedule": _Key(list, [], item=dict,
@@ -351,6 +364,15 @@ def _check_kind_constraints(config: ScenarioConfig) -> None:
         raise ScenarioError(
             "[kernel].parallel: multi-process execution needs "
             "[kernel].shards >= 2 (one worker per shard)")
+    if kind == "federated_commit":
+        if config.get("federation", "members") < 2:
+            raise ScenarioError(
+                "[federation].members: kind 'federated_commit' needs "
+                "at least 2 members (cross-member batches)")
+    elif config.get("federation", "members") != 1:
+        raise ScenarioError(
+            f"[federation].members: only kind 'federated_commit' "
+            f"runs a federation (kind is {kind!r})")
 
 
 # ---------------------------------------------------------------------------

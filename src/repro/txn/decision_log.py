@@ -20,6 +20,20 @@ is told to commit.  The protocol is presumed abort:
 Completion records (all members applied the decision) are appended
 un-forced: losing one merely makes recovery re-examine a batch whose
 redo is idempotent.
+
+Checkpoint/truncation (the bounded-log story): a coordinator that
+serves millions of batches cannot keep every decision forever.
+:meth:`GlobalDecisionLog.checkpoint` advances a **stable frontier**:
+every decision whose batch is fully completed is forgotten — from
+memory *and* from the log, by writing one forced CHECKPOINT record
+carrying the still-live (incomplete) decisions and truncating every
+record behind it.  The frontier rule that makes forgetting safe: a
+batch is only marked complete once every manifest member has durably
+applied it, and a durably-applied portion can never come back
+in-doubt (the member's own log answers it locally), so no recovering
+member will ever ask about a forgotten decision.  Presumed abort then
+gives the right answer *by construction* for everything behind the
+frontier.
 """
 
 from __future__ import annotations
@@ -36,17 +50,31 @@ class GlobalDecisionLog:
     The log is coordinator-side stable storage: its forced records
     survive any member crash (and whole-site recovery rebuilds the
     in-memory maps from them via :meth:`recover`).
+
+    ``checkpoint_interval=N`` turns on automatic truncation: every N
+    completed batches the log checkpoints itself, so its size is
+    bounded by the incomplete set plus one interval window no matter
+    how many batches ever committed.
     """
 
-    def __init__(self, wal: WriteAheadLog | None = None) -> None:
+    def __init__(self, wal: WriteAheadLog | None = None,
+                 checkpoint_interval: int | None = None) -> None:
         self.wal = wal if wal is not None \
             else WriteAheadLog("global-decision-log")
+        self.checkpoint_interval = checkpoint_interval
         #: gtxn id -> logged decision (COMMIT only: presumed abort)
         self._decisions: dict[str, Decision] = {}
         #: gtxn id -> {member: [dov ids]} batch manifest
         self._manifests: dict[str, dict[str, list[str]]] = {}
         #: gtxn ids every member has completed
         self._completed: set[str] = set()
+        #: decided-but-not-completed gtxn ids in log order — maintained
+        #: O(1) per transition instead of re-scanned per query
+        self._incomplete: dict[str, None] = {}
+        #: checkpoints taken (each truncates the log behind it)
+        self.truncations = 0
+        #: completed decisions forgotten past checkpoint frontiers
+        self.forgotten_decisions = 0
         #: fired *after* the decision record is durable and *before*
         #: any participant is notified — the exact window the T10
         #: crash-injection (and the coordinator-crash test) target
@@ -74,6 +102,7 @@ class GlobalDecisionLog:
         self._decisions[gtxn_id] = Decision.COMMIT
         self._manifests[gtxn_id] = {member: list(ids)
                                     for member, ids in manifest.items()}
+        self._incomplete[gtxn_id] = None
         if self.on_decision is not None:
             self.on_decision(gtxn_id, self.manifest(gtxn_id))
 
@@ -84,6 +113,44 @@ class GlobalDecisionLog:
         self.wal.append(LogRecordKind.GLOBAL_DECISION,
                         {"gtxn": gtxn_id, "complete": True}, force=False)
         self._completed.add(gtxn_id)
+        self._incomplete.pop(gtxn_id, None)
+        if self.checkpoint_interval is not None \
+                and len(self._completed) >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def checkpoint(self) -> dict[str, int]:
+        """Advance the frontier: forget every fully-completed batch.
+
+        One forced CHECKPOINT record carries the still-live
+        (incomplete) decisions — everything recovery could ever be
+        asked about — then the log truncates every record behind it
+        and the completed decisions leave memory.  Safe by the
+        frontier rule (module docstring): completed batches are
+        durable at every manifest member, so presumed abort never
+        gives a wrong answer for a forgotten gtxn.
+
+        Returns ``{"live": .., "forgotten": .., "truncated": ..}``.
+        """
+        live = [{"gtxn": gtxn_id,
+                 "manifest": {member: list(ids) for member, ids
+                              in self._manifests[gtxn_id].items()}}
+                for gtxn_id in self._incomplete]
+        record = self.wal.append(LogRecordKind.CHECKPOINT, {
+            "log": "global-decision",
+            "live": live,
+        }, force=True)
+        truncated = self.wal.truncate(up_to_lsn=record.lsn - 1)
+        forgotten = 0
+        for gtxn_id in list(self._decisions):
+            if gtxn_id not in self._incomplete:
+                del self._decisions[gtxn_id]
+                del self._manifests[gtxn_id]
+                self._completed.discard(gtxn_id)
+                forgotten += 1
+        self.truncations += 1
+        self.forgotten_decisions += forgotten
+        return {"live": len(live), "forgotten": forgotten,
+                "truncated": truncated}
 
     # -- reading ------------------------------------------------------------
 
@@ -102,14 +169,16 @@ class GlobalDecisionLog:
                 in self._manifests.get(gtxn_id, {}).items()}
 
     def decisions(self) -> list[str]:
-        """Every logged COMMIT decision, in log order."""
+        """Every retained COMMIT decision, in log order (a stable
+        copy; decisions behind the checkpoint frontier are gone)."""
         return list(self._decisions)
 
     def incomplete(self) -> list[str]:
         """Logged COMMIT decisions not yet marked complete, in log
-        order — the recovery work list after a coordinator crash."""
-        return [gtxn_id for gtxn_id in self._decisions
-                if gtxn_id not in self._completed]
+        order — the recovery work list after a coordinator crash.
+        A stable copy of the maintained incomplete-set: O(incomplete),
+        not O(all decisions ever logged)."""
+        return list(self._incomplete)
 
     # -- recovery -----------------------------------------------------------
 
@@ -121,29 +190,53 @@ class GlobalDecisionLog:
         self._decisions.clear()
         self._manifests.clear()
         self._completed.clear()
+        self._incomplete.clear()
         return lost
 
     def recover(self) -> int:
         """Rebuild the in-memory maps from the stable log records.
 
-        Returns the number of decisions recovered.  The unforced tail
-        (completion records of batches finished just before a crash)
-        is gone — harmless, redo is idempotent.
+        The scan starts from scratch at every CHECKPOINT record (its
+        ``live`` set *is* the log's state at that frontier — a crash
+        between appending the checkpoint and truncating behind it
+        merely replays records the checkpoint already subsumes), then
+        applies the decision/completion records past it.  Returns the
+        number of decisions recovered.  The unforced tail (completion
+        records of batches finished just before a crash) is gone —
+        harmless, redo is idempotent.
         """
         self._decisions.clear()
         self._manifests.clear()
         self._completed.clear()
-        for record in self.wal.stable_records(
-                LogRecordKind.GLOBAL_DECISION):
+        self._incomplete.clear()
+        for record in self.wal.stable_records():
+            if record.kind is LogRecordKind.CHECKPOINT \
+                    and record.payload.get("log") == "global-decision":
+                self._decisions.clear()
+                self._manifests.clear()
+                self._completed.clear()
+                self._incomplete.clear()
+                for entry in record.payload["live"]:
+                    gtxn_id = entry["gtxn"]
+                    self._decisions[gtxn_id] = Decision.COMMIT
+                    self._manifests[gtxn_id] = {
+                        member: list(ids) for member, ids
+                        in entry["manifest"].items()}
+                    self._incomplete[gtxn_id] = None
+                continue
+            if record.kind is not LogRecordKind.GLOBAL_DECISION:
+                continue
             gtxn_id = record.payload["gtxn"]
             if record.payload.get("complete"):
                 self._completed.add(gtxn_id)
+                self._incomplete.pop(gtxn_id, None)
             else:
                 self._decisions[gtxn_id] = Decision(
                     record.payload["decision"])
                 self._manifests[gtxn_id] = {
                     member: list(ids) for member, ids
                     in record.payload["manifest"].items()}
+                self._incomplete[gtxn_id] = None
         return len(self._decisions)
 
     # -- stats --------------------------------------------------------------
@@ -153,6 +246,9 @@ class GlobalDecisionLog:
         return {
             "decisions": len(self._decisions),
             "completed": len(self._completed),
-            "incomplete": len(self.incomplete()),
+            "incomplete": len(self._incomplete),
             "forced_writes": self.wal.forced_writes,
+            "wal_records": len(self.wal),
+            "truncations": self.truncations,
+            "forgotten_decisions": self.forgotten_decisions,
         }

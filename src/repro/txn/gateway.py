@@ -24,6 +24,17 @@ Commit shapes:
 * :func:`flush_group` — the convenience driver of the cross shape:
   collect the dirty sets of several client-TMs and commit them under
   one decision, then hand each client its slice of the id mapping.
+
+The fourth shape lives one layer down: a **cross-member federation
+batch** (:meth:`~repro.repository.federation.FederatedRepository.commit_group`)
+runs the same prepare/decide/complete skeleton with the
+:class:`~repro.txn.decision_log.GlobalDecisionLog` as its decision
+point — homes resolved O(batch) through the placement index, the
+decision forced in one coordinator-side write, and the log kept
+bounded by the checkpoint frontier
+(:meth:`~repro.txn.decision_log.GlobalDecisionLog.checkpoint`), so
+the shape survives member *and* coordinator loss without ever
+replaying history past the frontier.
 """
 
 from __future__ import annotations

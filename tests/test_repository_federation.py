@@ -5,6 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.repository.federation import FederatedRepository
+from repro.repository.placement import (
+    PlacementIndex,
+    federation_fast_path,
+)
 from repro.repository.repository import DesignDataRepository
 from repro.repository.schema import (
     AttributeDef,
@@ -224,3 +228,205 @@ class TestShippingSurface:
         dov = federation.checkin("da-a", "Cell", {"area": 1.0})
         assert committed == [dov.dov_id]
         assert federation.owner_of(dov.dov_id) == "site-a"
+
+
+class TestHashPlacement:
+    def test_ring_placement_is_deterministic(self):
+        members = [f"site-{i}" for i in range(4)]
+        das = [f"da-{i}" for i in range(16)]
+        first = PlacementIndex(members, placement="hash")
+        second = PlacementIndex(members, placement="hash")
+        assert [first.place(d) for d in das] \
+            == [second.place(d) for d in das]
+
+    def test_ring_placement_ignores_arrival_order(self):
+        """A DA's home is a pure function of its id and the member
+        set — no coordinator counter, unlike round-robin."""
+        members = ["site-a", "site-b", "site-c"]
+        alone = PlacementIndex(members, placement="hash")
+        crowded = PlacementIndex(members, placement="hash")
+        for i in range(10):
+            crowded.place(f"other-{i}")
+        assert alone.place("da-x") == crowded.place("da-x")
+
+    def test_ring_spreads_across_members(self):
+        index = PlacementIndex([f"site-{i}" for i in range(4)],
+                               placement="hash")
+        homes = {index.place(f"da-{i}") for i in range(32)}
+        assert len(homes) >= 3
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementIndex(["site-a"], placement="random")
+
+    def test_hash_federation_routes_like_the_ring(self):
+        ids = IdGenerator()
+        fed = FederatedRepository(
+            {f"site-{i}": DesignDataRepository(ids) for i in range(3)},
+            placement="hash")
+        fed.register_dot(make_dot())
+        oracle = PlacementIndex([f"site-{i}" for i in range(3)],
+                                placement="hash")
+        for i in range(6):
+            da_id = f"da-{i}"
+            fed.create_graph(da_id)
+            home = oracle.place(da_id)
+            assert fed.placement_of(da_id) == home
+            dov = fed.checkin(da_id, "Cell", {"area": float(i)})
+            assert fed.owner_of(dov.dov_id) == home
+
+    def test_assign_still_overrides_the_ring(self):
+        ids = IdGenerator()
+        fed = FederatedRepository(
+            {f"site-{i}": DesignDataRepository(ids) for i in range(3)},
+            placement="hash")
+        fed.register_dot(make_dot())
+        fed.assign("da-pinned", "site-2")
+        fed.create_graph("da-pinned")
+        assert fed.placement_of("da-pinned") == "site-2"
+
+
+class TestFastPathCompat:
+    def test_staged_resolution_identical_on_both_paths(self, federation):
+        federation.assign("da-a", "site-a")
+        federation.assign("da-b", "site-b")
+        federation.create_graph("da-a")
+        federation.create_graph("da-b")
+        staged = [
+            federation.stage_checkin("da-a", "Cell", {"area": 1.0},
+                                     (), 0.0).dov_id,
+            federation.stage_checkin("da-b", "Cell", {"area": 2.0},
+                                     (), 0.0).dov_id,
+        ]
+        fast = {i: federation._staged_home_of(i)
+                for i in staged + ["dov-404"]}
+        with federation_fast_path(False):
+            compat = {i: federation._staged_home_of(i)
+                      for i in staged + ["dov-404"]}
+        assert fast == compat
+        assert fast[staged[0]] == "site-a"
+        assert fast["dov-404"] is None
+
+    def test_commit_group_identical_on_compat_path(self):
+        def run():
+            ids = IdGenerator()
+            fed = FederatedRepository({
+                "site-a": DesignDataRepository(ids),
+                "site-b": DesignDataRepository(ids)})
+            fed.register_dot(make_dot())
+            fed.assign("da-a", "site-a")
+            fed.assign("da-b", "site-b")
+            fed.create_graph("da-a")
+            fed.create_graph("da-b")
+            staged = [
+                fed.stage_checkin("da-a", "Cell", {"area": 1.0},
+                                  (), 0.0).dov_id,
+                fed.stage_checkin("da-b", "Cell", {"area": 2.0},
+                                  (), 0.0).dov_id,
+            ]
+            dovs = fed.commit_group(staged)
+            return [d.dov_id for d in dovs], fed.directory_snapshot()
+
+        fast_result = run()
+        with federation_fast_path(False):
+            compat_result = run()
+        assert fast_result == compat_result
+
+    def test_abort_checkin_identical_on_compat_path(self, federation):
+        federation.create_graph("da-1")
+        with federation_fast_path(False):
+            staged = federation.stage_checkin(
+                "da-1", "Cell", {"area": 1.0}, (), 0.0)
+            assert federation.abort_checkin(staged.dov_id) is True
+            assert federation.abort_checkin(staged.dov_id) is False
+        # the index was maintained even while the flag was off
+        assert federation.placement_index.stats()["staged_index"] == 0
+
+
+class TestSingleMemberBatchFailure:
+    def test_down_member_aborts_single_member_batch(self, federation):
+        """A batch resolving entirely to one member must notice the
+        member is down *before* committing — presumed abort, with the
+        stale staged-index entries cleaned up."""
+        federation.assign("da-a", "site-a")
+        federation.create_graph("da-a")
+        head = federation.checkin("da-a", "Cell", {"area": 1.0})
+        staged = [
+            federation.stage_checkin("da-a", "Cell", {"area": 2.0},
+                                     (head.dov_id,), 1.0).dov_id,
+            federation.stage_checkin("da-a", "Cell", {"area": 3.0},
+                                     (head.dov_id,), 1.0).dov_id,
+        ]
+        # the member dies without the coordinator noticing: the index
+        # still maps the staged ids to it
+        federation.member("site-a").crash()
+        with pytest.raises(StorageError, match="presumed abort"):
+            federation.commit_group(staged)
+        assert federation.placement_index.stats()["staged_index"] == 0
+        for dov_id in staged:
+            assert dov_id not in federation
+        # after recovery the DA serves a fresh batch normally
+        federation.recover_member("site-a")
+        retry = federation.stage_checkin("da-a", "Cell", {"area": 2.0},
+                                         (head.dov_id,), 2.0)
+        committed = federation.commit_group([retry.dov_id])
+        assert [d.dov_id for d in committed] == [retry.dov_id]
+
+    def test_down_member_aborts_on_compat_path_too(self, federation):
+        federation.assign("da-a", "site-a")
+        federation.create_graph("da-a")
+        staged = federation.stage_checkin("da-a", "Cell", {"area": 1.0},
+                                          (), 0.0)
+        federation.member("site-a").crash()
+        with federation_fast_path(False):
+            with pytest.raises(StorageError):
+                federation.commit_group([staged.dov_id])
+
+
+class TestDirectoryRecovery:
+    def test_crash_member_reports_dropped_staged_entries(
+            self, federation):
+        federation.assign("da-a", "site-a")
+        federation.create_graph("da-a")
+        for area in (1.0, 2.0):
+            federation.stage_checkin("da-a", "Cell", {"area": area},
+                                     (), 0.0)
+        report = federation.crash_member("site-a")
+        assert report["staged_index_dropped"] == 2
+        assert federation.placement_index.stats()["staged_index"] == 0
+
+    def test_recover_directory_counters(self, federation):
+        federation.assign("da-a", "site-a")
+        federation.assign("da-b", "site-b")
+        federation.create_graph("da-a")
+        federation.create_graph("da-b")
+        federation.checkin("da-a", "Cell", {"area": 1.0})
+        federation.checkin("da-b", "Cell", {"area": 2.0})
+        federation.stage_checkin("da-b", "Cell", {"area": 3.0}, (), 0.0)
+        report = federation.recover_directory()
+        assert report == {"placements": 2, "staged_index": 1,
+                          "directory_entries": 2, "members_down": 0}
+
+    def test_down_member_keeps_its_prior_directory_entries(
+            self, federation):
+        """recover_directory with a member still down: the surviving
+        index entries for that member are carried over instead of
+        silently dropped."""
+        federation.assign("da-a", "site-a")
+        federation.assign("da-b", "site-b")
+        federation.create_graph("da-a")
+        federation.create_graph("da-b")
+        dov_a = federation.checkin("da-a", "Cell", {"area": 1.0})
+        federation.crash_member("site-a")
+        report = federation.recover_directory()
+        assert report["members_down"] == 1
+        assert federation.owner_of(dov_a.dov_id) == "site-a"
+        assert federation.placement_of("da-a") == "site-a"
+
+    def test_stats_exposes_the_index_surfaces(self, federation):
+        federation.create_graph("da-1")
+        federation.stage_checkin("da-1", "Cell", {"area": 1.0}, (), 0.0)
+        stats = federation.stats()
+        assert stats["placement"] == "directory"
+        assert stats["staged_index"] == 1
+        assert stats["decision_log"]["decisions"] == 0

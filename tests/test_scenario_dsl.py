@@ -48,13 +48,14 @@ SCENARIOS_DIR = Path(__file__).parent.parent / "scenarios"
 
 def _raw_configs() -> st.SearchStrategy:
     """Arbitrary *valid* raw scenario definitions."""
-    kinds = st.sampled_from(["object_buffers", "write_back", "campaign"])
+    kinds = st.sampled_from(["object_buffers", "write_back", "campaign",
+                             "federated_commit"])
     probability = st.floats(min_value=0.0, max_value=1.0,
                             allow_nan=False)
     return st.builds(
         lambda kind, seed, shards, parallel, team, steps, mean_step,
         pool, payload, reread, ratio, write_back, caching, bandwidth,
-        latency, ttl, days: {
+        latency, ttl, days, members, fed_placement, fed_batches: {
             "scenario": {"name": f"gen-{kind}-{seed}", "kind": kind,
                          "seed": seed},
             "kernel": {"shards": shards,
@@ -68,6 +69,11 @@ def _raw_configs() -> st.SearchStrategy:
             "traffic": {"bandwidth": bandwidth,
                         "lan_latency": latency},
             "leases": {"ttl": ttl},
+            "federation": {
+                "members": members if kind == "federated_commit" else 1,
+                "placement": fed_placement,
+                "batches": fed_batches,
+            },
             "campaign": {"days": days},
         },
         kinds,
@@ -87,6 +93,9 @@ def _raw_configs() -> st.SearchStrategy:
         st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
         st.floats(min_value=0.0, max_value=1_000.0, allow_nan=False),
         st.integers(min_value=1, max_value=30),
+        st.integers(min_value=2, max_value=12),
+        st.sampled_from(["directory", "hash"]),
+        st.integers(min_value=1, max_value=8),
     )
 
 
@@ -202,6 +211,24 @@ class TestDiagnostics:
                            match=r"\[objects\]\.hotspot_bias"):
             validate_scenario(_base(objects={"hotspot_bias": 0.5}))
 
+    def test_federation_members_require_federated_kind(self):
+        with pytest.raises(ScenarioError,
+                           match=r"\[federation\]\.members"):
+            validate_scenario(_base(federation={"members": 3}))
+
+    def test_federated_commit_needs_two_members(self):
+        with pytest.raises(ScenarioError,
+                           match=r"\[federation\]\.members"):
+            validate_scenario(_base(kind="federated_commit",
+                                    federation={"members": 1}))
+
+    def test_federation_placement_choices_are_named(self):
+        with pytest.raises(ScenarioError,
+                           match=r"\[federation\]\.placement: 'rand'"):
+            validate_scenario(_base(
+                kind="federated_commit",
+                federation={"members": 3, "placement": "rand"}))
+
     def test_invalid_toml_is_a_scenario_error(self):
         with pytest.raises(ScenarioError, match="invalid TOML"):
             parse_scenario("this is = = not toml")
@@ -248,6 +275,17 @@ class TestShippedLibrary:
             == write_back_scenario(write_back=True)
         assert compile_scenario(lib["t9_write_through"]).run() \
             == write_back_scenario(write_back=False)
+
+    def test_t10_report_equals_hand_coded_matrix(self):
+        from repro.bench.scenarios import federated_commit_scenario
+
+        report = compile_scenario(
+            canonical_scenarios()["t10_federated_commit"]).run()
+        assert report["states_identical"] is True
+        assert set(report["crashes"]) \
+            == {"none", "before", "after", "coordinator"}
+        assert report["crashes"]["after"] \
+            == asdict(federated_commit_scenario(crash="after"))
 
     def test_dumped_files_parse_back_to_the_canon(self):
         for name, config in canonical_scenarios().items():

@@ -248,3 +248,90 @@ class TestFederatedAtomicCommit:
         stats = federation.stats()
         assert stats["decision_log"]["decisions"] == 1
         assert stats["redone_batches"] == 0
+
+
+class TestCheckpointTruncation:
+    def test_checkpoint_forgets_completed_keeps_incomplete(self):
+        log = GlobalDecisionLog()
+        log.record("gtxn-1", {"site-a": ["dov-1"]})
+        log.record("gtxn-2", {"site-b": ["dov-2"]})
+        log.mark_complete("gtxn-1")
+        result = log.checkpoint()
+        assert result == {"live": 1, "forgotten": 1,
+                          "truncated": result["truncated"]}
+        assert result["truncated"] >= 2
+        assert log.decisions() == ["gtxn-2"]
+        assert log.incomplete() == ["gtxn-2"]
+        # behind the frontier presumed abort answers by construction
+        assert log.resolve("gtxn-1") is Decision.ABORT
+        assert log.resolve("gtxn-2") is Decision.COMMIT
+        assert log.manifest("gtxn-2") == {"site-b": ["dov-2"]}
+
+    def test_checkpoint_is_one_forced_write(self):
+        log = GlobalDecisionLog()
+        log.record("gtxn-1", {"site-a": ["dov-1"]})
+        log.mark_complete("gtxn-1")
+        forced = log.wal.forced_writes
+        log.checkpoint()
+        assert log.wal.forced_writes == forced + 1
+        assert log.stats()["wal_records"] == 1  # checkpoint only
+
+    def test_recovery_restarts_from_the_checkpoint(self):
+        log = GlobalDecisionLog()
+        log.record("gtxn-1", {"site-a": ["dov-1"]})
+        log.mark_complete("gtxn-1")
+        log.record("gtxn-2", {"site-b": ["dov-2"]})
+        log.checkpoint()
+        log.record("gtxn-3", {"site-a": ["dov-3"]})
+        log.crash()
+        assert log.recover() == 2
+        assert log.decisions() == ["gtxn-2", "gtxn-3"]
+        assert log.incomplete() == ["gtxn-2", "gtxn-3"]
+        assert log.resolve("gtxn-1") is Decision.ABORT
+
+    def test_crash_between_checkpoint_and_truncate_is_idempotent(self):
+        """The CHECKPOINT record subsumes everything behind it: if the
+        truncation never happens, recovery still lands on the same
+        state — the stale records are replayed, then reset."""
+        log = GlobalDecisionLog()
+        log.record("gtxn-1", {"site-a": ["dov-1"]})
+        log.mark_complete("gtxn-1")
+        log.record("gtxn-2", {"site-b": ["dov-2"]})
+
+        original_truncate = log.wal.truncate
+        log.wal.truncate = lambda up_to_lsn: (_ for _ in ()).throw(
+            StorageError("crash mid-truncation"))
+        with pytest.raises(StorageError):
+            log.checkpoint()
+        log.wal.truncate = original_truncate
+
+        log.crash()
+        log.recover()
+        assert log.decisions() == ["gtxn-2"]
+        assert log.incomplete() == ["gtxn-2"]
+        assert log.resolve("gtxn-1") is Decision.ABORT
+
+    def test_auto_checkpoint_interval_bounds_the_log(self):
+        window = 3
+        log = GlobalDecisionLog(checkpoint_interval=window)
+        peak = 0
+        for index in range(10):
+            gtxn = f"gtxn-{index}"
+            log.record(gtxn, {"site-a": [f"dov-{index}"]})
+            log.mark_complete(gtxn)
+            peak = max(peak, log.stats()["wal_records"])
+        assert log.stats()["truncations"] == 3
+        assert log.stats()["forgotten_decisions"] == 9
+        assert peak <= 2 * window
+        # the one decision past the last frontier is still retained
+        assert log.decisions() == ["gtxn-9"]
+
+    def test_incomplete_is_a_stable_copy(self):
+        log = GlobalDecisionLog()
+        log.record("gtxn-1", {"site-a": ["dov-1"]})
+        view = log.incomplete()
+        view.append("gtxn-bogus")
+        assert log.incomplete() == ["gtxn-1"]
+        snapshot = log.decisions()
+        snapshot.clear()
+        assert log.decisions() == ["gtxn-1"]

@@ -90,6 +90,16 @@ def render_delta(new: dict[str, Any],
                     f"shard-scaling capacity "
                     f"{acceptance.get('shard_scaling_speedup')}x "
                     f">= {acceptance.get('shard_scaling_min_speedup')}x")
+            if "federation_flatness" in acceptance:
+                gates.append(
+                    f"federation-flatness "
+                    f"{acceptance.get('federation_flatness')}x "
+                    f"<= {acceptance.get('federation_flatness_max')}x")
+        if "federation_log_bounded" in acceptance:
+            gates.append(
+                "federation-log "
+                + ("bounded" if acceptance["federation_log_bounded"]
+                   else "UNBOUNDED"))
         if "determinism_ok" in acceptance:
             gates.append("determinism "
                          + ("ok" if acceptance["determinism_ok"]
